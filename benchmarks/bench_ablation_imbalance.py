@@ -1,0 +1,24 @@
+"""Ablation benchmark: relaxing the perfectly balanced task-split assumption."""
+
+from repro.experiments import imbalance_ablation
+from repro.experiments.report import format_mapping
+
+
+def test_ablation_task_imbalance(once):
+    rows = once(
+        imbalance_ablation,
+        task_demand=100.0,
+        workstations=20,
+        utilization=0.10,
+        num_jobs=400,
+        seed=13,
+        imbalances=(0.0, 0.1, 0.25, 0.5),
+    )
+    print()
+    for row in rows:
+        print(format_mapping(row.label, row.as_dict()))
+    times = [row.mean_job_time for row in rows]
+    # Imbalance can only hurt the makespan; the trend must be non-decreasing
+    # from perfectly balanced to heavily imbalanced.
+    assert times[0] <= times[-1]
+    assert times[0] >= 100.0

@@ -1,0 +1,22 @@
+"""Ablation benchmark: static partitioning vs dynamic self-scheduling (PVM)."""
+
+from repro.experiments import scheduling_ablation
+from repro.experiments.report import format_mapping
+
+
+def test_ablation_scheduling(once):
+    result = once(
+        scheduling_ablation,
+        job_demand=2400.0,
+        workstations=8,
+        utilization=0.20,
+        chunks_per_worker=8,
+        replications=5,
+        seed=29,
+    )
+    print()
+    print(format_mapping("static vs self-scheduling", result))
+    assert result["static_mean_makespan"] >= 2400.0 / 8
+    assert result["dynamic_mean_makespan"] >= 2400.0 / 8
+    # Dynamic chunking must not be dramatically worse than the static split.
+    assert result["improvement"] > -0.2

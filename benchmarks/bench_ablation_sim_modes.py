@@ -1,0 +1,16 @@
+"""Ablation benchmark: agreement of analysis and the three simulation back-ends."""
+
+from repro.experiments import sim_mode_agreement
+from repro.experiments.report import format_mapping
+
+
+def test_ablation_simulation_modes(once):
+    results = once(sim_mode_agreement, num_jobs=4000, seed=17)
+    print()
+    print(format_mapping("E_j by back-end", results))
+    analytic = results["analytic"]
+    assert abs(results["monte-carlo"] - analytic) / analytic < 0.02
+    assert abs(results["discrete-time"] - analytic) / analytic < 0.05
+    # The event-driven simulator relaxes the optimistic assumptions and is
+    # allowed to be somewhat pessimistic, but must stay in the same regime.
+    assert abs(results["event-driven"] - analytic) / analytic < 0.12

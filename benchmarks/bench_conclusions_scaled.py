@@ -1,0 +1,16 @@
+"""Benchmark of the Section-3.2 finding: scaled-problem response-time inflation."""
+
+from repro.experiments import run_conclusions_scaled
+from conftest import report_figure
+
+
+def test_conclusions_scaled_inflation(benchmark):
+    result = benchmark(run_conclusions_scaled)
+    report_figure(result)
+    xs, ys = result.get("inflation")
+    inflation = dict(zip(xs.tolist(), ys.tolist()))
+    # Paper: 14 / 30 / 44 / 71 % at U = 1 / 5 / 10 / 20 %.
+    assert abs(inflation[0.01] - 0.14) < 0.02
+    assert abs(inflation[0.05] - 0.30) < 0.02
+    assert abs(inflation[0.10] - 0.44) < 0.02
+    assert abs(inflation[0.20] - 0.71) < 0.02

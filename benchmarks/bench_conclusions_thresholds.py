@@ -1,0 +1,16 @@
+"""Benchmark of the Section-5 finding: minimum task ratios for 80% efficiency."""
+
+from repro.experiments import run_conclusions_thresholds
+from conftest import report_figure
+
+
+def test_conclusions_task_ratio_thresholds(benchmark):
+    result = benchmark(run_conclusions_thresholds)
+    report_figure(result)
+    xs, ys = result.get("min task ratio")
+    thresholds = dict(zip(xs.tolist(), ys.tolist()))
+    # Paper: >= 8 at 5%, >= 13 at 10%, >= 20 at 20% (figure-reading accuracy).
+    assert abs(thresholds[0.05] - 8) <= 1
+    assert abs(thresholds[0.10] - 13) <= 2
+    assert abs(thresholds[0.20] - 20) <= 3
+    assert thresholds[0.05] < thresholds[0.10] < thresholds[0.20]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 1: speedup vs number of workstations (J=1000)."""
+
+from repro.experiments import run_fig01
+from conftest import report_figure
+
+
+def test_fig01_speedup(benchmark):
+    result = benchmark(run_fig01)
+    report_figure(result)
+    # Paper anchors: 61% of optimal at U=1%, 32.5% at U=20% (W=100).
+    assert abs(result.value_at("util=0.01", 100) - 61.0) < 1.5
+    assert abs(result.value_at("util=0.2", 100) - 32.5) < 1.5
+    # Curves ordered by utilization and below the perfect line.
+    for w in (20, 60, 100):
+        assert (
+            result.value_at("util=0.01", w)
+            > result.value_at("util=0.05", w)
+            > result.value_at("util=0.1", w)
+            > result.value_at("util=0.2", w)
+        )
+        assert result.value_at("util=0.01", w) <= w

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 2: efficiency vs number of workstations (J=1000)."""
+
+from repro.experiments import run_fig02
+from conftest import report_figure
+
+
+def test_fig02_efficiency(benchmark):
+    result = benchmark(run_fig02)
+    report_figure(result)
+    # On one node the efficiency is 1 / (1 + O*P) = roughly 1 - U, and it
+    # decays as workstations are added.
+    for name in result.series_names():
+        utilization = float(name.split("=")[1])
+        assert result.value_at(name, 1) >= (1.0 - utilization) - 0.02
+        assert result.value_at(name, 100) < result.value_at(name, 10)
+    assert abs(result.value_at("util=0.01", 100) - 0.61) < 0.02

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 3: weighted speedup vs workstations (J=1000)."""
+
+from repro.experiments import run_fig01, run_fig03
+from conftest import report_figure
+
+
+def test_fig03_weighted_speedup(benchmark):
+    result = benchmark(run_fig03)
+    report_figure(result)
+    plain = run_fig01()
+    # Weighted speedup discounts owner-held cycles, so it dominates speedup.
+    for name in ("util=0.05", "util=0.2"):
+        for w in (20, 60, 100):
+            assert result.value_at(name, w) >= plain.value_at(name, w) - 1e-9
+    assert result.value_at("util=0.2", 100) < 100

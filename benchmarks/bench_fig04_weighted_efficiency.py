@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 4: weighted efficiency vs workstations (J=1000)."""
+
+from repro.experiments import run_fig04
+from conftest import report_figure
+
+
+def test_fig04_weighted_efficiency(benchmark):
+    result = benchmark(run_fig04)
+    report_figure(result)
+    # Paper anchors at W=100: 61.5% (U=1%) and 41% (U=20%).
+    assert abs(result.value_at("util=0.01", 100) - 0.615) < 0.02
+    assert abs(result.value_at("util=0.2", 100) - 0.41) < 0.02

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 5: weighted speedup for the larger job (J=10k)."""
+
+from repro.experiments import run_fig03, run_fig05
+from conftest import report_figure
+
+
+def test_fig05_weighted_speedup_large_job(benchmark):
+    result = benchmark(run_fig05)
+    report_figure(result)
+    small = run_fig03()
+    # The 10k-unit job keeps a larger task ratio, so it dominates the 1k job.
+    for name in ("util=0.05", "util=0.2"):
+        for w in (20, 60, 100):
+            assert result.value_at(name, w) >= small.value_at(name, w) - 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 6: weighted efficiency for the larger job (J=10k)."""
+
+from repro.experiments import run_fig04, run_fig06
+from conftest import report_figure
+
+
+def test_fig06_weighted_efficiency_large_job(benchmark):
+    result = benchmark(run_fig06)
+    report_figure(result)
+    small = run_fig04()
+    for name in result.series_names():
+        assert result.value_at(name, 100) >= small.value_at(name, 100) - 1e-9
+    # At J=10,000 even a 100-node system keeps high weighted efficiency for
+    # light owner loads (task ratio 10 at W=100).
+    assert result.value_at("util=0.01", 100) > 0.85

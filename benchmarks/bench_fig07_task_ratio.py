@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 7: weighted efficiency vs task ratio (W=60)."""
+
+from repro.experiments import run_fig07
+from conftest import report_figure
+
+
+def test_fig07_task_ratio(benchmark):
+    result = benchmark(run_fig07)
+    report_figure(result)
+    # 80% weighted efficiency crossings: ~8 at U=5%, ~13 at U=10%, ~20 at U=20%.
+    assert result.value_at("util=0.05", 8) >= 0.80
+    assert result.value_at("util=0.1", 13) >= 0.80
+    assert result.value_at("util=0.1", 10) <= 0.82
+    assert result.value_at("util=0.2", 20) >= 0.80
+    assert result.value_at("util=0.2", 14) <= 0.82

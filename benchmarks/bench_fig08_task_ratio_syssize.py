@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 8: task-ratio sensitivity vs system size (U=0.1)."""
+
+from repro.experiments import run_fig08
+from conftest import report_figure
+
+
+def test_fig08_task_ratio_system_size(benchmark):
+    result = benchmark(run_fig08)
+    report_figure(result)
+    # Sensitivity to the task ratio increases with system size: at any fixed
+    # ratio, bigger systems achieve lower weighted efficiency.
+    for ratio in (5, 10, 20, 40):
+        values = [
+            result.value_at(f"numProc={w}", ratio) for w in (2, 4, 8, 20, 60, 100)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))

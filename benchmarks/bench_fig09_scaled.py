@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 9: scaled-problem execution time vs workstations."""
+
+from repro.experiments import run_fig09
+from conftest import report_figure
+
+
+def test_fig09_scaled_problem(benchmark):
+    result = benchmark(run_fig09)
+    report_figure(result)
+    # Execution time grows with system size but flattens; paper quotes
+    # 114 / 130 / 144 / 171 time units at W=100 for U=1/5/10/20%.
+    expected = {"util=0.01": 114, "util=0.05": 130, "util=0.1": 144, "util=0.2": 171}
+    for name, target in expected.items():
+        assert abs(result.value_at(name, 100) - target) < 3.0
+        first_jump = result.value_at(name, 10) - result.value_at(name, 1)
+        last_jump = result.value_at(name, 100) - result.value_at(name, 91)
+        assert first_jump > last_jump >= 0

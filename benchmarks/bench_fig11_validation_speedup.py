@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 11: experimental validation of speedups."""
+
+import numpy as np
+
+from repro.experiments import run_fig11
+from repro.workload import ValidationGrid
+from conftest import report_figure
+
+GRID = ValidationGrid(replications=10)
+
+
+def test_fig11_validation_speedup(once):
+    result = once(run_fig11, grid=GRID, seed=1993)
+    report_figure(result)
+    # Speedups grow with the number of workstations for every problem size,
+    # stay near-linear at the measured 3% utilization, and the larger job
+    # demands achieve at least the speedup of the smallest demand at W=12
+    # (the task-ratio effect the paper highlights at 8 and 12 workstations).
+    for minutes in (1, 2, 4, 8, 16):
+        xs, ys = result.get(f"demand = {minutes:g}")
+        assert ys[0] == 1.0
+        assert ys[-1] > 6.0
+        assert np.all(ys <= xs * 1.3)
+    small_at_12 = result.value_at("demand = 1", 12)
+    large_at_12 = result.value_at("demand = 16", 12)
+    assert large_at_12 >= small_at_12 * 0.85

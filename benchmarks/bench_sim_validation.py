@@ -1,0 +1,24 @@
+"""Benchmark of the Section-2.2 simulation-vs-analysis validation.
+
+Duplicates the Figure-1 experiment in simulation with the paper's output
+analysis (20 batches x 1000 samples, 90% confidence) and checks the two are
+statistically indistinguishable.
+"""
+
+from repro.experiments import agreement_summary, run_simulation_validation
+from repro.experiments.report import format_mapping
+
+
+def test_sim_validation_matches_analysis(once):
+    points = once(
+        run_simulation_validation,
+        workstation_counts=(1, 5, 10, 20, 40, 60, 80, 100),
+        utilizations=(0.01, 0.05, 0.10, 0.20),
+        num_jobs=20_000,
+    )
+    summary = agreement_summary(points)
+    print()
+    print(format_mapping("simulation vs analysis", summary))
+    assert summary["points"] == 32
+    assert summary["max_abs_relative_error"] < 0.01
+    assert summary["fraction_within_ci"] > 0.6

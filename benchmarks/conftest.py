@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one figure or quoted finding of
+Leutenegger & Sun (1993) under ``pytest-benchmark`` timing.  The benchmarked
+callable returns the figure's data; each benchmark then prints the regenerated
+series (visible with ``pytest benchmarks/ --benchmark-only -s``) and asserts
+the paper-anchored shape checks so a regression in either performance or
+correctness is caught here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FigureResult, format_figure
+
+
+def report_figure(result: FigureResult, max_rows: int = 12) -> None:
+    """Print the regenerated series of a figure (the paper's rows)."""
+    print()
+    print(format_figure(result, max_rows=max_rows))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive benchmark exactly once (no repeated rounds)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

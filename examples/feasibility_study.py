@@ -1,0 +1,81 @@
+"""Feasibility study: how big must jobs be on *your* cluster?
+
+Reproduces the paper's headline analysis (Figures 7-8 and the Section-5
+thresholds) for a user-configurable cluster, answering two questions:
+
+* for each owner utilization, what task ratio (and hence job size) is needed
+  to harvest at least 80% of the idle cycles, and
+* how does that requirement grow with the size of the cluster?
+
+Run with:  python examples/feasibility_study.py
+"""
+
+import numpy as np
+
+from repro.core import OwnerSpec, feasibility_frontier, weighted_efficiency_at_task_ratio
+
+OWNER_DEMAND = 10.0
+UTILIZATIONS = (0.01, 0.05, 0.10, 0.20)
+SYSTEM_SIZES = (8, 20, 60, 100)
+TARGET = 0.80
+
+
+def frontier_table() -> None:
+    print(f"Minimum task ratio for {TARGET:.0%} weighted efficiency")
+    header = "workstations " + "".join(f"  U={u:<5g}" for u in UTILIZATIONS)
+    print(header)
+    for workstations in SYSTEM_SIZES:
+        frontier = feasibility_frontier(
+            UTILIZATIONS, workstations=workstations, owner_demand=OWNER_DEMAND,
+            target_weighted_efficiency=TARGET,
+        )
+        row = f"{workstations:>12} " + "".join(
+            f"  {frontier[u]:>6.0f}" for u in UTILIZATIONS
+        )
+        print(row)
+    print()
+    print(
+        "Reading: on a 60-node cluster at 10% owner utilization each task must\n"
+        "be >= ~13x the mean owner demand (the paper's Section-5 threshold)."
+    )
+    print()
+
+
+def efficiency_curves(workstations: int = 60) -> None:
+    ratios = np.arange(1, 41)
+    print(f"Weighted efficiency vs task ratio, W = {workstations}")
+    print("ratio " + "".join(f"  U={u:<5g}" for u in UTILIZATIONS))
+    for ratio in (1, 2, 4, 8, 13, 20, 30, 40):
+        owner_cols = []
+        for utilization in UTILIZATIONS:
+            owner = OwnerSpec(demand=OWNER_DEMAND, utilization=utilization)
+            value = weighted_efficiency_at_task_ratio(float(ratio), workstations, owner)
+            owner_cols.append(f"  {value:>7.3f}")
+        print(f"{ratio:>5} " + "".join(owner_cols))
+    print()
+
+
+def job_sizing(workstations: int = 60) -> None:
+    print(f"Job sizing for a {workstations}-node cluster (owner demand {OWNER_DEMAND:g} units)")
+    for utilization in UTILIZATIONS:
+        owner = OwnerSpec(demand=OWNER_DEMAND, utilization=utilization)
+        frontier = feasibility_frontier(
+            [utilization], workstations=workstations, owner_demand=OWNER_DEMAND,
+            target_weighted_efficiency=TARGET,
+        )
+        ratio = frontier[utilization]
+        job_demand = ratio * OWNER_DEMAND * workstations
+        print(
+            f"  U={utilization:>4.0%}: task ratio >= {ratio:>4.0f}  "
+            f"=> total job demand >= {job_demand:>8,.0f} units"
+        )
+
+
+def main() -> None:
+    frontier_table()
+    efficiency_curves()
+    job_sizing()
+
+
+if __name__ == "__main__":
+    main()

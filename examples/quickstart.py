@@ -1,0 +1,62 @@
+"""Quickstart: is my parallel job worth running on a non-dedicated cluster?
+
+This walks through the library's core workflow in a few lines:
+
+1. describe the parallel job (its total demand) and the cluster (size plus
+   owner behaviour),
+2. evaluate the analytical model of Leutenegger & Sun (1993),
+3. read off the non-dedicated metrics (task ratio, weighted efficiency), and
+4. ask the feasibility API for a verdict and for the minimum job size that
+   would make the cluster worthwhile.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    JobSpec,
+    OwnerSpec,
+    SystemSpec,
+    assess_feasibility,
+    compute_metrics,
+    evaluate,
+    minimum_task_ratio,
+)
+from repro.core import TaskRounding
+
+
+def main() -> None:
+    # A parallel job needing 12,000 time units of CPU in total (perfectly
+    # parallel, as the paper assumes), on 20 workstations whose owners use
+    # them 10% of the time in bursts averaging 10 units.
+    job = JobSpec(total_demand=12_000, rounding=TaskRounding.INTERPOLATE)
+    owner = OwnerSpec(demand=10, utilization=0.10)
+    system = SystemSpec(workstations=20, owner=owner)
+
+    evaluation = evaluate(job, system)
+    metrics = compute_metrics(evaluation)
+
+    print("== model evaluation ==")
+    print(f"per-task demand T        : {evaluation.task_demand:.1f} units")
+    print(f"task ratio T/O           : {metrics.task_ratio:.1f}")
+    print(f"expected task time E_t   : {evaluation.expected_task_time:.1f} units")
+    print(f"expected job time  E_j   : {evaluation.expected_job_time:.1f} units")
+    print(f"speedup                  : {metrics.speedup:.2f} on {system.workstations} nodes")
+    print(f"efficiency               : {metrics.efficiency:.1%}")
+    print(f"weighted efficiency      : {metrics.weighted_efficiency:.1%}")
+    print()
+
+    report = assess_feasibility(job, system, target_weighted_efficiency=0.80)
+    print("== feasibility ==")
+    print(report.summary())
+    print()
+
+    needed_ratio = minimum_task_ratio(system.workstations, owner, 0.80)
+    needed_job = needed_ratio * owner.demand * system.workstations
+    print(
+        f"To reach 80% weighted efficiency on this cluster the task ratio must be "
+        f">= {needed_ratio:.0f}, i.e. a total job demand of >= {needed_job:,.0f} units."
+    )
+
+
+if __name__ == "__main__":
+    main()

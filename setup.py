@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs on systems without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — reproduction of Leutenegger & Sun (1993).
+
+*Distributed Computing Feasibility in a Non-Dedicated Homogeneous Distributed
+System*, ICASE Report 93-65 / Supercomputing '93.
+
+The package is organised as:
+
+* :mod:`repro.core` — the analytical model (Eqs. 1-8), the task-ratio /
+  weighted-efficiency metrics, feasibility thresholds and scaled-problem
+  analysis;
+* :mod:`repro.desim` — a process-oriented discrete-event simulation kernel
+  (the CSIM substitute);
+* :mod:`repro.stats` — batch means and confidence intervals;
+* :mod:`repro.cluster` — the non-dedicated workstation-cluster simulator;
+* :mod:`repro.pvm` — a PVM-like message-passing substrate in simulated time;
+* :mod:`repro.workload` — owner-activity traces and the local-computation
+  problem ladder;
+* :mod:`repro.experiments` — runners regenerating every figure and finding of
+  the paper, plus ablations.
+
+Quickstart
+----------
+>>> from repro import JobSpec, OwnerSpec, SystemSpec, evaluate, compute_metrics
+>>> job = JobSpec(total_demand=1000)
+>>> system = SystemSpec(workstations=20, owner=OwnerSpec(demand=10, utilization=0.1))
+>>> metrics = compute_metrics(evaluate(job, system))
+>>> round(metrics.task_ratio, 1)
+5.0
+"""
+
+from .core import (
+    FeasibilityReport,
+    JobSpec,
+    MetricSet,
+    ModelEvaluation,
+    OwnerSpec,
+    SystemSpec,
+    TaskRounding,
+    assess_feasibility,
+    compute_metrics,
+    evaluate,
+    expected_job_time,
+    expected_task_time,
+    feasibility_frontier,
+    minimum_task_ratio,
+    response_time_inflation,
+    scaled_job_time,
+    weighted_efficiency,
+    weighted_speedup,
+)
+from .cluster import SimulationConfig, SimulationResult, run_simulation
+from .pvm import VirtualMachine, run_local_computation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model
+    "JobSpec",
+    "OwnerSpec",
+    "SystemSpec",
+    "TaskRounding",
+    "ModelEvaluation",
+    "MetricSet",
+    "evaluate",
+    "compute_metrics",
+    "expected_task_time",
+    "expected_job_time",
+    "weighted_speedup",
+    "weighted_efficiency",
+    "minimum_task_ratio",
+    "feasibility_frontier",
+    "assess_feasibility",
+    "FeasibilityReport",
+    "scaled_job_time",
+    "response_time_inflation",
+    # simulation
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    # PVM substrate
+    "VirtualMachine",
+    "run_local_computation",
+]

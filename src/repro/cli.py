@@ -1,0 +1,132 @@
+"""Command-line interface for the reproduction.
+
+Examples
+--------
+List the available experiments::
+
+    repro-experiments list
+
+Regenerate a figure as a text table (optionally as CSV)::
+
+    repro-experiments run fig1
+    repro-experiments run fig7 --csv
+
+Assess feasibility of a concrete job on a concrete cluster::
+
+    repro-experiments feasibility --job-demand 50000 --workstations 60 \\
+        --utilization 0.1 --owner-demand 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import JobSpec, OwnerSpec, SystemSpec, TaskRounding, assess_feasibility
+from .experiments import (
+    FigureResult,
+    ValidationPoint,
+    agreement_summary,
+    figure_to_csv,
+    format_figure,
+    format_mapping,
+    get_experiment,
+    list_experiments,
+)
+from .experiments.ablations import AblationRow
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction of Leutenegger & Sun (1993), 'Distributed computing "
+            "feasibility in a non-dedicated homogeneous distributed system'."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its data")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    run_parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an aligned table"
+    )
+    run_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=25,
+        help="subsample long sweeps to at most this many table rows (default 25)",
+    )
+
+    feas_parser = subparsers.add_parser(
+        "feasibility", help="assess feasibility of a job on a non-dedicated cluster"
+    )
+    feas_parser.add_argument("--job-demand", type=float, required=True,
+                             help="total parallel job demand J in time units")
+    feas_parser.add_argument("--workstations", type=int, required=True,
+                             help="number of workstations W")
+    feas_parser.add_argument("--utilization", type=float, required=True,
+                             help="owner utilization U of each workstation (0..1)")
+    feas_parser.add_argument("--owner-demand", type=float, default=10.0,
+                             help="mean owner process demand O (default 10)")
+    feas_parser.add_argument("--target", type=float, default=0.80,
+                             help="target weighted efficiency (default 0.80)")
+    return parser
+
+
+def _render_result(result: object, *, csv: bool, max_rows: int) -> str:
+    if isinstance(result, FigureResult):
+        if csv:
+            return figure_to_csv(result)
+        return format_figure(result, max_rows=max_rows)
+    if isinstance(result, dict):
+        return format_mapping("result", result)
+    if isinstance(result, list) and result and isinstance(result[0], ValidationPoint):
+        lines = [format_mapping(f"point {i}", p.as_dict()) for i, p in enumerate(result)]
+        lines.append(format_mapping("agreement", agreement_summary(result)))
+        return "\n".join(lines)
+    if isinstance(result, list) and result and isinstance(result[0], AblationRow):
+        return "\n".join(format_mapping(row.label, row.as_dict()) for row in result)
+    return repr(result) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment in list_experiments():
+            print(f"{experiment.experiment_id:<26} [{experiment.kind}] {experiment.description}")
+        return 0
+
+    if args.command == "run":
+        try:
+            experiment = get_experiment(args.experiment)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        result = experiment.run()
+        sys.stdout.write(_render_result(result, csv=args.csv, max_rows=args.max_rows))
+        return 0
+
+    if args.command == "feasibility":
+        job = JobSpec(total_demand=args.job_demand, rounding=TaskRounding.INTERPOLATE)
+        owner = OwnerSpec(demand=args.owner_demand, utilization=args.utilization)
+        system = SystemSpec(workstations=args.workstations, owner=owner)
+        report = assess_feasibility(job, system, target_weighted_efficiency=args.target)
+        print(report.summary())
+        return 0 if report.feasible else 1
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

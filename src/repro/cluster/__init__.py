@@ -1,0 +1,42 @@
+"""Non-dedicated workstation-cluster simulator.
+
+This package is the simulation substrate of the reproduction: explicit
+workstations whose owners preempt parallel tasks, plus fast model-faithful
+samplers used to validate the analytical model exactly as the paper's CSIM
+study did.
+"""
+
+from .job import JobResult, TaskResult, balanced_tasks, imbalanced_tasks
+from .owner import OWNER_PRIORITY, TASK_PRIORITY, OwnerBehavior, owner_process
+from .simulation import (
+    DiscreteTimeSimulator,
+    EventDrivenClusterSimulator,
+    MonteCarloSampler,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+    simulate_task_discrete,
+    validate_against_analysis,
+)
+from .workstation import TaskExecution, Workstation
+
+__all__ = [
+    "OwnerBehavior",
+    "owner_process",
+    "OWNER_PRIORITY",
+    "TASK_PRIORITY",
+    "Workstation",
+    "TaskExecution",
+    "JobResult",
+    "TaskResult",
+    "balanced_tasks",
+    "imbalanced_tasks",
+    "SimulationConfig",
+    "SimulationResult",
+    "DiscreteTimeSimulator",
+    "MonteCarloSampler",
+    "EventDrivenClusterSimulator",
+    "run_simulation",
+    "simulate_task_discrete",
+    "validate_against_analysis",
+]

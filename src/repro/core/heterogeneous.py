@@ -1,0 +1,243 @@
+"""Heterogeneously loaded clusters — relaxing the paper's homogeneity assumption.
+
+The paper analyses a *homogeneous* system: every workstation has the same owner
+utilization.  Real clusters are rarely that tidy — some owners hammer their
+machines, others are away all week.  Because the model's job time is the
+maximum of independent (but no longer identically distributed) per-task
+completion times, the analysis extends cleanly: the CDF of the maximum is the
+*product* of the per-workstation CDFs instead of a power.
+
+This module provides that extension plus the derived quantities the homogeneous
+API offers (expected job time, distribution, metrics), and a helper that asks
+the question the extension makes answerable: *does concentrating the same total
+owner load on a few machines hurt more than spreading it evenly?*  (It does —
+the busiest machine dominates the maximum.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .analytical import expected_task_time
+from .distributions import binomial_cdf
+from .metrics import weighted_efficiency as _weighted_efficiency
+from .params import OwnerSpec
+
+__all__ = [
+    "HeterogeneousSystem",
+    "heterogeneous_job_time_distribution",
+    "expected_job_time_heterogeneous",
+    "HeterogeneousEvaluation",
+    "evaluate_heterogeneous",
+    "concentration_comparison",
+]
+
+
+@dataclass(frozen=True)
+class HeterogeneousSystem:
+    """A cluster whose workstations may have different owner behaviours.
+
+    ``owners[i]`` describes the owner of workstation ``i``; the system size is
+    ``len(owners)``.  The paper's homogeneous system is the special case of
+    ``owners`` being ``W`` copies of one :class:`OwnerSpec`.
+    """
+
+    owners: tuple[OwnerSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.owners:
+            raise ValueError("a heterogeneous system needs at least one workstation")
+        object.__setattr__(self, "owners", tuple(self.owners))
+
+    @classmethod
+    def homogeneous(cls, workstations: int, owner: OwnerSpec) -> "HeterogeneousSystem":
+        """The paper's homogeneous cluster expressed in this representation."""
+        if workstations < 1:
+            raise ValueError(f"workstations must be >= 1, got {workstations!r}")
+        return cls(owners=tuple([owner] * workstations))
+
+    @classmethod
+    def from_utilizations(
+        cls, utilizations: Sequence[float], owner_demand: float = 10.0
+    ) -> "HeterogeneousSystem":
+        """Build a system from a per-workstation utilization vector."""
+        return cls(
+            owners=tuple(
+                OwnerSpec(demand=owner_demand, utilization=float(u)) for u in utilizations
+            )
+        )
+
+    @property
+    def workstations(self) -> int:
+        return len(self.owners)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average owner utilization across the cluster."""
+        return float(np.mean([o.utilization for o in self.owners]))
+
+    @property
+    def max_utilization(self) -> float:
+        return float(np.max([o.utilization for o in self.owners]))
+
+    @property
+    def utilization_spread(self) -> float:
+        """Population standard deviation of the per-workstation utilizations."""
+        return float(np.std([o.utilization for o in self.owners]))
+
+
+def heterogeneous_job_time_distribution(
+    task_demand: int,
+    system: HeterogeneousSystem,
+) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
+    """Job completion-time distribution on a heterogeneously loaded cluster.
+
+    All tasks have the same demand ``T`` (the job is still split evenly — the
+    heterogeneity is in the *owners*, not the application).  Each workstation's
+    interruption count is ``Binomial(T, P_i)``; the job waits for the maximum,
+    whose CDF is the product of the per-workstation CDFs.  The support is
+    expressed in interruption counts ``n = 0..T`` mapped to times
+    ``T + n * O_max`` only when all owner demands are equal; for mixed demands
+    the time conversion is ambiguous, so this function requires a common owner
+    demand and raises otherwise (mixed demands are handled by the Monte-Carlo
+    path in :mod:`repro.cluster`).
+    """
+    if int(task_demand) != task_demand or task_demand < 1:
+        raise ValueError(f"task_demand must be a positive integer, got {task_demand!r}")
+    demands = {o.demand for o in system.owners}
+    if len(demands) != 1:
+        raise ValueError(
+            "the closed-form heterogeneous distribution requires a common owner "
+            f"demand; got demands {sorted(demands)} (use the cluster simulator "
+            "for mixed owner demands)"
+        )
+    owner_demand = demands.pop()
+    trials = int(task_demand)
+    product_cdf = np.ones(trials + 1, dtype=np.float64)
+    for owner in system.owners:
+        assert owner.request_probability is not None
+        product_cdf *= binomial_cdf(trials, owner.request_probability)
+    pmf = np.clip(np.diff(product_cdf, prepend=0.0), 0.0, 1.0)
+    support = trials + np.arange(trials + 1, dtype=np.float64) * owner_demand
+    return support, pmf
+
+
+def expected_job_time_heterogeneous(
+    task_demand: int | float,
+    system: HeterogeneousSystem,
+) -> float:
+    """Expected job time on a heterogeneously loaded cluster.
+
+    Fractional task demands are handled by linear interpolation between the
+    two adjacent integer evaluations, mirroring the homogeneous API.
+    """
+    import math
+
+    if task_demand <= 0:
+        raise ValueError(f"task_demand must be positive, got {task_demand!r}")
+    lower = max(1, math.floor(task_demand))
+    upper = math.ceil(task_demand)
+
+    def evaluate_at(trials: int) -> float:
+        support, pmf = heterogeneous_job_time_distribution(trials, system)
+        return float(np.dot(support, pmf))
+
+    if lower == upper or task_demand == lower:
+        return evaluate_at(int(task_demand))
+    frac = task_demand - math.floor(task_demand)
+    return (1.0 - frac) * evaluate_at(lower) + frac * evaluate_at(upper)
+
+
+@dataclass(frozen=True)
+class HeterogeneousEvaluation:
+    """Evaluation of a job on a heterogeneously loaded cluster."""
+
+    job_demand: float
+    task_demand: float
+    workstations: int
+    mean_utilization: float
+    max_utilization: float
+    utilization_spread: float
+    expected_job_time: float
+    expected_task_times: tuple[float, ...]
+    weighted_efficiency: float
+
+    @property
+    def bottleneck_workstation(self) -> int:
+        """Index of the workstation with the largest expected task time."""
+        return int(np.argmax(self.expected_task_times))
+
+
+def evaluate_heterogeneous(
+    job_demand: float,
+    system: HeterogeneousSystem,
+) -> HeterogeneousEvaluation:
+    """Evaluate a perfectly parallel job of demand ``J`` on a mixed-load cluster.
+
+    The weighted efficiency discounts the cluster's *average* idle share
+    ``1 - mean(U_i)``, the natural generalisation of the paper's metric.
+    """
+    if job_demand <= 0:
+        raise ValueError(f"job_demand must be positive, got {job_demand!r}")
+    workstations = system.workstations
+    task_demand = job_demand / workstations
+    ej = expected_job_time_heterogeneous(task_demand, system)
+    per_task = tuple(
+        expected_task_time(task_demand, owner.demand, owner.request_probability or 0.0)
+        for owner in system.owners
+    )
+    weighted_eff = _weighted_efficiency(
+        job_demand, ej, workstations, system.mean_utilization
+    )
+    return HeterogeneousEvaluation(
+        job_demand=float(job_demand),
+        task_demand=task_demand,
+        workstations=workstations,
+        mean_utilization=system.mean_utilization,
+        max_utilization=system.max_utilization,
+        utilization_spread=system.utilization_spread,
+        expected_job_time=ej,
+        expected_task_times=per_task,
+        weighted_efficiency=weighted_eff,
+    )
+
+
+def concentration_comparison(
+    job_demand: float,
+    workstations: int,
+    mean_utilization: float,
+    concentration_levels: Sequence[float] = (0.0, 0.5, 1.0),
+    owner_demand: float = 10.0,
+) -> dict[float, HeterogeneousEvaluation]:
+    """Same average owner load, increasingly concentrated on half the machines.
+
+    At concentration 0 every workstation has ``mean_utilization``; at
+    concentration 1 half the workstations are completely idle and the other
+    half carry ``2 * mean_utilization``.  Intermediate values interpolate.
+    Returns one evaluation per concentration level, showing how load skew
+    degrades the job time even though the average idle capacity is unchanged.
+    """
+    if workstations < 2:
+        raise ValueError("concentration comparison needs at least two workstations")
+    if not 0.0 <= mean_utilization < 0.5:
+        raise ValueError(
+            "mean_utilization must be in [0, 0.5) so the busy half stays below "
+            f"100% utilization; got {mean_utilization!r}"
+        )
+    results: dict[float, HeterogeneousEvaluation] = {}
+    half = workstations // 2
+    for level in concentration_levels:
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"concentration levels must be in [0, 1], got {level!r}")
+        high = mean_utilization * (1.0 + level)
+        low_count = workstations - half
+        # Keep the cluster-wide average utilization fixed.
+        low = (mean_utilization * workstations - high * half) / low_count
+        utilizations = [high] * half + [low] * low_count
+        system = HeterogeneousSystem.from_utilizations(utilizations, owner_demand)
+        results[float(level)] = evaluate_heterogeneous(job_demand, system)
+    return results

@@ -1,0 +1,208 @@
+"""Performance metrics for non-dedicated distributed computing (Section 3.1).
+
+The paper complements the classical *speedup* / *efficiency* metrics with
+*weighted* variants that account for the cycles consumed by the (higher
+priority) workstation-owner processes.  With job demand ``J``, expected job
+completion time ``E_j``, ``W`` workstations and owner utilization ``U``:
+
+* ``task ratio           R   = T / O``
+* ``speedup              S   = J / E_j``
+* ``weighted speedup     S_w = J / ((1 - U) * E_j)``
+* ``efficiency           E   = S / W``
+* ``weighted efficiency  E_w = S_w / W``
+
+The weighted metrics answer "how well does the parallel job use the cycles the
+owners leave idle?": on ``W`` workstations each ``U`` busy, only
+``W * (1 - U)`` workstations' worth of cycles are available, so the best
+achievable job time is ``J / (W * (1 - U))`` and the weighted efficiency is
+the ratio of that bound to the achieved time.
+
+Sanity anchors from the paper (Figures 1-4, ``J = 1000``, ``O = 10``,
+``W = 100``): efficiency ≈ 61% at ``U = 1%`` and ≈ 32.5% at ``U = 20%``;
+weighted efficiency ≈ 61.5% and ≈ 41% respectively.  These are asserted in the
+test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .analytical import ModelEvaluation
+
+__all__ = [
+    "speedup",
+    "weighted_speedup",
+    "efficiency",
+    "weighted_efficiency",
+    "task_ratio",
+    "slowdown",
+    "MetricSet",
+    "compute_metrics",
+    "metrics_table",
+]
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def speedup(job_demand: float, expected_job_time: float) -> float:
+    """Classical speedup ``J / E_j`` relative to one dedicated workstation.
+
+    The serial baseline is the job's demand itself because a single dedicated
+    machine with no owner interference completes exactly ``J`` units in ``J``
+    time.
+    """
+    _check_positive("job_demand", job_demand)
+    _check_positive("expected_job_time", expected_job_time)
+    return job_demand / expected_job_time
+
+
+def weighted_speedup(
+    job_demand: float, expected_job_time: float, utilization: float
+) -> float:
+    """Speedup weighted by the cycles actually available to the parallel job.
+
+    ``S_w = J / ((1 - U) * E_j)``; equals the classical speedup when ``U = 0``.
+    """
+    _check_positive("job_demand", job_demand)
+    _check_positive("expected_job_time", expected_job_time)
+    if not 0.0 <= utilization < 1.0:
+        raise ValueError(f"utilization must be in [0, 1), got {utilization!r}")
+    return job_demand / ((1.0 - utilization) * expected_job_time)
+
+
+def efficiency(job_demand: float, expected_job_time: float, workstations: int) -> float:
+    """Efficiency ``speedup / W`` — fraction of ideal linear speedup attained."""
+    if workstations < 1:
+        raise ValueError(f"workstations must be >= 1, got {workstations!r}")
+    return speedup(job_demand, expected_job_time) / workstations
+
+
+def weighted_efficiency(
+    job_demand: float,
+    expected_job_time: float,
+    workstations: int,
+    utilization: float,
+) -> float:
+    """Weighted efficiency ``weighted_speedup / W``.
+
+    This is the paper's primary feasibility metric: it measures how close the
+    parallel job comes to consuming *all* cycles the owners leave idle.
+    """
+    if workstations < 1:
+        raise ValueError(f"workstations must be >= 1, got {workstations!r}")
+    return weighted_speedup(job_demand, expected_job_time, utilization) / workstations
+
+
+def task_ratio(task_demand: float, owner_demand: float) -> float:
+    """Task ratio ``T / O`` — parallel task demand over mean owner demand."""
+    _check_positive("task_demand", task_demand)
+    _check_positive("owner_demand", owner_demand)
+    return task_demand / owner_demand
+
+
+def slowdown(expected_job_time: float, task_demand: float) -> float:
+    """Ratio of achieved job time to the interference-free time ``T``.
+
+    A slowdown of 1.0 means owner processes caused no delay at all; the scaled
+    -problem experiment (Figure 9) reports this quantity as a percentage
+    increase (``slowdown - 1``).
+    """
+    _check_positive("expected_job_time", expected_job_time)
+    _check_positive("task_demand", task_demand)
+    return expected_job_time / task_demand
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """All Section-3.1 metrics evaluated at one model point."""
+
+    workstations: int
+    utilization: float
+    job_demand: float
+    task_demand: float
+    owner_demand: float
+    expected_task_time: float
+    expected_job_time: float
+    task_ratio: float
+    speedup: float
+    weighted_speedup: float
+    efficiency: float
+    weighted_efficiency: float
+    slowdown: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary form, convenient for tabular output and CSV."""
+        return {
+            "workstations": float(self.workstations),
+            "utilization": self.utilization,
+            "job_demand": self.job_demand,
+            "task_demand": self.task_demand,
+            "owner_demand": self.owner_demand,
+            "expected_task_time": self.expected_task_time,
+            "expected_job_time": self.expected_job_time,
+            "task_ratio": self.task_ratio,
+            "speedup": self.speedup,
+            "weighted_speedup": self.weighted_speedup,
+            "efficiency": self.efficiency,
+            "weighted_efficiency": self.weighted_efficiency,
+            "slowdown": self.slowdown,
+        }
+
+
+def compute_metrics(evaluation: ModelEvaluation) -> MetricSet:
+    """Derive the full metric set from an analytical model evaluation."""
+    return MetricSet(
+        workstations=evaluation.workstations,
+        utilization=evaluation.utilization,
+        job_demand=evaluation.job_demand,
+        task_demand=evaluation.task_demand,
+        owner_demand=evaluation.owner_demand,
+        expected_task_time=evaluation.expected_task_time,
+        expected_job_time=evaluation.expected_job_time,
+        task_ratio=task_ratio(evaluation.task_demand, evaluation.owner_demand),
+        speedup=speedup(evaluation.job_demand, evaluation.expected_job_time),
+        weighted_speedup=weighted_speedup(
+            evaluation.job_demand,
+            evaluation.expected_job_time,
+            evaluation.utilization,
+        ),
+        efficiency=efficiency(
+            evaluation.job_demand,
+            evaluation.expected_job_time,
+            evaluation.workstations,
+        ),
+        weighted_efficiency=weighted_efficiency(
+            evaluation.job_demand,
+            evaluation.expected_job_time,
+            evaluation.workstations,
+            evaluation.utilization,
+        ),
+        slowdown=slowdown(evaluation.expected_job_time, evaluation.task_demand),
+    )
+
+
+def metrics_table(evaluations: Iterable[ModelEvaluation]) -> list[MetricSet]:
+    """Compute metrics for a sweep of model evaluations (one row per point)."""
+    return [compute_metrics(e) for e in evaluations]
+
+
+def series(metric_sets: Sequence[MetricSet], field: str) -> NDArray[np.float64]:
+    """Extract one metric as a numpy array from a sweep of metric sets.
+
+    >>> # series(rows, "weighted_efficiency") -> array of length len(rows)
+    """
+    if not metric_sets:
+        return np.empty(0, dtype=np.float64)
+    first = metric_sets[0].as_dict()
+    if field not in first:
+        raise KeyError(
+            f"unknown metric field {field!r}; available: {sorted(first)}"
+        )
+    return np.array([m.as_dict()[field] for m in metric_sets], dtype=np.float64)

@@ -1,0 +1,352 @@
+"""Model parameters and notation for the non-dedicated distributed-computing model.
+
+This module encodes Table 1 of Leutenegger & Sun (1993) as typed, validated
+dataclasses.  The notation used throughout the library mirrors the paper:
+
+=========  =====================================================================
+Symbol     Meaning
+=========  =====================================================================
+``J``      Total demand (computing time units) of the parallel job.
+``W``      Number of workstations in the system (one parallel task per node).
+``T``      Demand of one parallel task, ``T = J / W``.
+``O``      Demand of one workstation-owner process (units of time).
+``U``      Utilization of a workstation by its owner.
+``P``      Probability that the owner requests the processor after any given
+           unit of parallel work (geometric think time with mean ``1/P``).
+``E_t``    Mean expected task completion time.
+``E_j``    Mean expected job completion time.
+=========  =====================================================================
+
+The owner utilization and request probability are linked by Eq. (8) of the
+paper::
+
+    U = O / (O + 1/P)        <=>        P = U / (O * (1 - U))
+
+Users normally specify the owner load by utilization (as the paper's figures
+do) and let the library derive ``P``; both directions are supported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable, Sequence
+
+__all__ = [
+    "TaskRounding",
+    "OwnerSpec",
+    "JobSpec",
+    "SystemSpec",
+    "ModelInputs",
+    "utilization_to_request_probability",
+    "request_probability_to_utilization",
+    "split_job_demand",
+]
+
+
+class TaskRounding(str, Enum):
+    """Policy for mapping a possibly fractional per-task demand onto the
+    integer-valued discrete-time model.
+
+    The analytical model of the paper is a discrete-time model: the owner may
+    request the processor after every *unit* of parallel work, so the task
+    demand ``T`` enters the binomial distribution as an integer trial count.
+    When ``J`` is not divisible by ``W`` the per-task demand ``J / W`` is
+    fractional and a policy is needed:
+
+    ``ROUND``
+        Round to the nearest integer (minimum 1).  This is the default and
+        matches how the paper's figures are generated for ``J = 1000`` with
+        arbitrary ``W``.
+    ``FLOOR`` / ``CEIL``
+        Round down / up (minimum 1).
+    ``INTERPOLATE``
+        Evaluate the model at ``floor(T)`` and ``ceil(T)`` and linearly blend
+        the two results by the fractional part.  This produces smooth curves
+        for dense sweeps of ``W``.
+    """
+
+    ROUND = "round"
+    FLOOR = "floor"
+    CEIL = "ceil"
+    INTERPOLATE = "interpolate"
+
+
+def utilization_to_request_probability(utilization: float, owner_demand: float) -> float:
+    """Convert owner utilization ``U`` into the per-unit request probability ``P``.
+
+    Inverts Eq. (8) of the paper, ``U = O / (O + 1/P)``:
+
+    >>> round(utilization_to_request_probability(0.01, 10.0), 6)
+    0.00101
+
+    Parameters
+    ----------
+    utilization:
+        Owner utilization ``U`` in ``[0, 1)``.
+    owner_demand:
+        Owner process demand ``O`` (> 0).
+
+    Returns
+    -------
+    float
+        Request probability ``P`` in ``[0, 1]``.  ``U = 0`` maps to ``P = 0``.
+    """
+    if not 0.0 <= utilization < 1.0:
+        raise ValueError(f"utilization must be in [0, 1), got {utilization!r}")
+    if owner_demand <= 0.0:
+        raise ValueError(f"owner_demand must be positive, got {owner_demand!r}")
+    if utilization == 0.0:
+        return 0.0
+    p = utilization / (owner_demand * (1.0 - utilization))
+    return min(p, 1.0)
+
+
+def request_probability_to_utilization(request_probability: float, owner_demand: float) -> float:
+    """Convert the per-unit request probability ``P`` into owner utilization ``U``.
+
+    Implements Eq. (8) of the paper, ``U = O / (O + 1/P)``.
+
+    >>> round(request_probability_to_utilization(0.00101010101, 10.0), 4)
+    0.01
+    """
+    if not 0.0 <= request_probability <= 1.0:
+        raise ValueError(
+            f"request_probability must be in [0, 1], got {request_probability!r}"
+        )
+    if owner_demand <= 0.0:
+        raise ValueError(f"owner_demand must be positive, got {owner_demand!r}")
+    if request_probability == 0.0:
+        return 0.0
+    return owner_demand / (owner_demand + 1.0 / request_probability)
+
+
+def split_job_demand(
+    job_demand: float,
+    workstations: int,
+    rounding: TaskRounding | str = TaskRounding.ROUND,
+) -> float:
+    """Return the per-task demand ``T = J / W`` under the given rounding policy.
+
+    For :attr:`TaskRounding.INTERPOLATE` the *fractional* value is returned
+    unchanged — the analytical routines interpolate internally.
+    """
+    if workstations < 1:
+        raise ValueError(f"workstations must be >= 1, got {workstations!r}")
+    if job_demand <= 0:
+        raise ValueError(f"job_demand must be positive, got {job_demand!r}")
+    rounding = TaskRounding(rounding)
+    raw = job_demand / workstations
+    if rounding is TaskRounding.INTERPOLATE:
+        return raw
+    if rounding is TaskRounding.FLOOR:
+        value = math.floor(raw)
+    elif rounding is TaskRounding.CEIL:
+        value = math.ceil(raw)
+    else:
+        value = round(raw)
+    return float(max(1, value))
+
+
+@dataclass(frozen=True)
+class OwnerSpec:
+    """Workstation-owner behaviour.
+
+    The owner alternates between *thinking* (idle, geometrically distributed
+    with mean ``1/P`` time units) and *using* the workstation for ``demand``
+    units.  Owner processes have preemptive priority over parallel tasks.
+
+    Exactly one of ``utilization`` or ``request_probability`` must be given;
+    the other is derived via Eq. (8).
+
+    Attributes
+    ----------
+    demand:
+        Owner-process service demand ``O`` in time units (default 10, the
+        value used throughout the paper's analysis section).
+    utilization:
+        Long-run fraction of time the owner keeps the workstation busy.
+    request_probability:
+        Probability ``P`` that the owner requests the CPU after a unit of
+        parallel work.
+    """
+
+    demand: float = 10.0
+    utilization: float | None = None
+    request_probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValueError(f"owner demand must be positive, got {self.demand!r}")
+        if (self.utilization is None) == (self.request_probability is None):
+            raise ValueError(
+                "exactly one of utilization / request_probability must be provided"
+            )
+        if self.utilization is not None:
+            p = utilization_to_request_probability(self.utilization, self.demand)
+            object.__setattr__(self, "request_probability", p)
+        else:
+            assert self.request_probability is not None
+            u = request_probability_to_utilization(self.request_probability, self.demand)
+            object.__setattr__(self, "utilization", u)
+
+    @classmethod
+    def from_utilization(cls, utilization: float, demand: float = 10.0) -> "OwnerSpec":
+        """Build an owner spec from a target utilization (paper's usual input)."""
+        return cls(demand=demand, utilization=utilization)
+
+    @classmethod
+    def from_request_probability(cls, p: float, demand: float = 10.0) -> "OwnerSpec":
+        """Build an owner spec from the raw request probability ``P``."""
+        return cls(demand=demand, request_probability=p)
+
+    @classmethod
+    def idle(cls, demand: float = 10.0) -> "OwnerSpec":
+        """An owner that never touches the workstation (dedicated node)."""
+        return cls(demand=demand, utilization=0.0)
+
+    @property
+    def mean_think_time(self) -> float:
+        """Mean owner think time ``1/P`` (``inf`` for an idle owner)."""
+        assert self.request_probability is not None
+        if self.request_probability == 0.0:
+            return math.inf
+        return 1.0 / self.request_probability
+
+    def with_utilization(self, utilization: float) -> "OwnerSpec":
+        """Return a copy with a different utilization (same demand)."""
+        return OwnerSpec(demand=self.demand, utilization=utilization)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A perfectly parallel job of total demand ``J`` split into equal tasks.
+
+    Attributes
+    ----------
+    total_demand:
+        Total demand ``J`` of the parallel job in time units.
+    rounding:
+        Policy used to map the fractional per-task demand onto the integer
+        discrete-time model (see :class:`TaskRounding`).
+    """
+
+    total_demand: float
+    rounding: TaskRounding = TaskRounding.ROUND
+
+    def __post_init__(self) -> None:
+        if self.total_demand <= 0:
+            raise ValueError(
+                f"total_demand must be positive, got {self.total_demand!r}"
+            )
+        object.__setattr__(self, "rounding", TaskRounding(self.rounding))
+
+    def task_demand(self, workstations: int) -> float:
+        """Per-task demand ``T = J / W`` under this job's rounding policy."""
+        return split_job_demand(self.total_demand, workstations, self.rounding)
+
+    def task_ratio(self, workstations: int, owner: OwnerSpec) -> float:
+        """Task ratio ``T / O`` for a given system size and owner behaviour."""
+        return self.task_demand(workstations) / owner.demand
+
+    def scaled(self, factor: float) -> "JobSpec":
+        """Return a copy whose total demand is multiplied by ``factor``."""
+        return replace(self, total_demand=self.total_demand * factor)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A homogeneous cluster of ``workstations`` identically loaded nodes."""
+
+    workstations: int
+    owner: OwnerSpec = field(default_factory=lambda: OwnerSpec.from_utilization(0.1))
+
+    def __post_init__(self) -> None:
+        if self.workstations < 1:
+            raise ValueError(
+                f"workstations must be >= 1, got {self.workstations!r}"
+            )
+
+    def with_size(self, workstations: int) -> "SystemSpec":
+        """Return a copy of this system with a different node count."""
+        return replace(self, workstations=workstations)
+
+    def with_owner(self, owner: OwnerSpec) -> "SystemSpec":
+        """Return a copy of this system with a different owner behaviour."""
+        return replace(self, owner=owner)
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Fully resolved inputs to the analytical model for a single evaluation.
+
+    This is the flattened (``T``, ``W``, ``O``, ``P``) tuple the equations of
+    Section 2 operate on, produced from a (:class:`JobSpec`,
+    :class:`SystemSpec`) pair by :meth:`ModelInputs.from_specs`.
+    """
+
+    task_demand: float
+    workstations: int
+    owner_demand: float
+    request_probability: float
+
+    def __post_init__(self) -> None:
+        if self.task_demand <= 0:
+            raise ValueError(f"task_demand must be positive, got {self.task_demand!r}")
+        if self.workstations < 1:
+            raise ValueError(f"workstations must be >= 1, got {self.workstations!r}")
+        if self.owner_demand <= 0:
+            raise ValueError(f"owner_demand must be positive, got {self.owner_demand!r}")
+        if not 0.0 <= self.request_probability <= 1.0:
+            raise ValueError(
+                "request_probability must be in [0, 1], "
+                f"got {self.request_probability!r}"
+            )
+
+    @classmethod
+    def from_specs(cls, job: JobSpec, system: SystemSpec) -> "ModelInputs":
+        """Resolve a job/system pair into raw model inputs.
+
+        Note: for :attr:`TaskRounding.INTERPOLATE` the task demand kept here is
+        the *fractional* ``J / W``; the analytical routines blend the two
+        adjacent integer evaluations.
+        """
+        t = job.task_demand(system.workstations)
+        owner = system.owner
+        assert owner.request_probability is not None
+        return cls(
+            task_demand=t,
+            workstations=system.workstations,
+            owner_demand=owner.demand,
+            request_probability=owner.request_probability,
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Owner utilization ``U`` implied by ``O`` and ``P`` (Eq. 8)."""
+        return request_probability_to_utilization(
+            self.request_probability, self.owner_demand
+        )
+
+    @property
+    def task_ratio(self) -> float:
+        """Task ratio ``T / O``."""
+        return self.task_demand / self.owner_demand
+
+    @property
+    def job_demand(self) -> float:
+        """Total job demand ``J = T * W`` implied by these inputs."""
+        return self.task_demand * self.workstations
+
+
+def validate_utilizations(utilizations: Iterable[float]) -> Sequence[float]:
+    """Validate a collection of owner utilizations (each in ``[0, 1)``).
+
+    Returns the values as a tuple so callers can iterate repeatedly.
+    """
+    values = tuple(float(u) for u in utilizations)
+    for u in values:
+        if not 0.0 <= u < 1.0:
+            raise ValueError(f"utilization must be in [0, 1), got {u!r}")
+    return values

@@ -1,0 +1,190 @@
+"""Scaled-problem (memory-bounded scaleup) analysis — Section 3.2 of the paper.
+
+Fixed-size problems shrink the per-task demand as workstations are added
+(``T = J / W``), so the task ratio falls and owner interference bites harder.
+Memory-bounded scaleup instead grows the job with the system
+(``J = T_0 * W`` for a constant per-node demand ``T_0``), keeping the task
+ratio fixed; the paper shows this makes non-dedicated clusters attractive for
+scaled problems: at 100 workstations the response time grows only by
+14 / 30 / 44 / 71 % for owner utilizations of 1 / 5 / 10 / 20 %.
+
+This module provides:
+
+* :func:`scaled_job_time` / :func:`scaled_sweep` — the Figure-9 curves,
+* :func:`response_time_inflation` — the headline percentage increases,
+* :func:`scaled_speedup` — the memory-bounded speedup (work completed per unit
+  time relative to one loaded workstation),
+* :func:`fixed_vs_scaled_comparison` — a side-by-side table of the two scaling
+  regimes used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .analytical import ModelEvaluation, evaluate, expected_job_time
+from .metrics import compute_metrics
+from .params import JobSpec, OwnerSpec, SystemSpec, TaskRounding
+
+__all__ = [
+    "scaled_job_time",
+    "scaled_sweep",
+    "response_time_inflation",
+    "scaled_speedup",
+    "ScalingPoint",
+    "fixed_vs_scaled_comparison",
+]
+
+
+def scaled_job_time(
+    per_node_demand: float,
+    workstations: int,
+    owner: OwnerSpec,
+) -> float:
+    """Expected job time when the problem scales with the system.
+
+    The job demand is ``per_node_demand * workstations`` so every task has the
+    constant demand ``per_node_demand`` regardless of system size (the
+    memory-bounded scaleup of Sun & Ni).  With one workstation this reduces to
+    the single-task expectation over a loaded node.
+    """
+    if per_node_demand <= 0:
+        raise ValueError(f"per_node_demand must be positive, got {per_node_demand!r}")
+    assert owner.request_probability is not None
+    return expected_job_time(
+        per_node_demand,
+        workstations,
+        owner.demand,
+        owner.request_probability,
+    )
+
+
+def scaled_sweep(
+    per_node_demand: float,
+    workstation_counts: Sequence[int],
+    owner: OwnerSpec,
+) -> list[ModelEvaluation]:
+    """Figure-9 sweep: evaluate the scaled problem at each system size."""
+    results: list[ModelEvaluation] = []
+    for w in workstation_counts:
+        job = JobSpec(
+            total_demand=per_node_demand * int(w), rounding=TaskRounding.INTERPOLATE
+        )
+        system = SystemSpec(workstations=int(w), owner=owner)
+        results.append(evaluate(job, system))
+    return results
+
+
+def response_time_inflation(
+    per_node_demand: float,
+    workstations: int,
+    owner: OwnerSpec,
+    *,
+    baseline: str = "dedicated",
+) -> float:
+    """Fractional response-time increase of the scaled problem vs one node.
+
+    Returns e.g. ``0.44`` for a 44 % increase at ``workstations`` nodes.
+
+    Two baselines are supported:
+
+    ``"dedicated"`` (default)
+        The interference-free time ``T`` of the per-node problem.  This is the
+        baseline that reproduces the paper's quoted 14 / 30 / 44 / 71 %
+        increases at 100 workstations for utilizations 1 / 5 / 10 / 20 %
+        (the Section 3.2 / Section 5 numbers).
+    ``"loaded"``
+        The expected time of the per-node problem on a single workstation
+        *with the same owner utilization* (the baseline the paper's prose
+        describes; the paper's quoted percentages nevertheless correspond to
+        the dedicated baseline — see EXPERIMENTS.md).
+    """
+    if baseline not in {"dedicated", "loaded"}:
+        raise ValueError(
+            f"baseline must be 'dedicated' or 'loaded', got {baseline!r}"
+        )
+    many = scaled_job_time(per_node_demand, workstations, owner)
+    if baseline == "dedicated":
+        return many / per_node_demand - 1.0
+    single = scaled_job_time(per_node_demand, 1, owner)
+    return many / single - 1.0
+
+
+def scaled_speedup(
+    per_node_demand: float,
+    workstations: int,
+    owner: OwnerSpec,
+) -> float:
+    """Memory-bounded (scaled) speedup.
+
+    Work grows by a factor ``W`` while time grows from the single-node time to
+    the ``W``-node time; the scaled speedup is therefore
+    ``W * time(1) / time(W)``, which equals ``W`` under perfect scaling.
+    """
+    single = scaled_job_time(per_node_demand, 1, owner)
+    many = scaled_job_time(per_node_demand, workstations, owner)
+    return workstations * single / many
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of a fixed-size vs scaled-problem comparison."""
+
+    workstations: int
+    utilization: float
+    fixed_job_time: float
+    fixed_weighted_efficiency: float
+    fixed_task_ratio: float
+    scaled_job_time: float
+    scaled_inflation: float
+    scaled_task_ratio: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "workstations": float(self.workstations),
+            "utilization": self.utilization,
+            "fixed_job_time": self.fixed_job_time,
+            "fixed_weighted_efficiency": self.fixed_weighted_efficiency,
+            "fixed_task_ratio": self.fixed_task_ratio,
+            "scaled_job_time": self.scaled_job_time,
+            "scaled_inflation": self.scaled_inflation,
+            "scaled_task_ratio": self.scaled_task_ratio,
+        }
+
+
+def fixed_vs_scaled_comparison(
+    fixed_job_demand: float,
+    per_node_demand: float,
+    workstation_counts: Sequence[int],
+    owner: OwnerSpec,
+) -> list[ScalingPoint]:
+    """Side-by-side comparison of the two scaling regimes.
+
+    For every system size, evaluates (a) the fixed-size job of total demand
+    ``fixed_job_demand`` (whose task ratio shrinks with ``W``) and (b) the
+    scaled job of ``per_node_demand`` per node (whose task ratio is constant).
+    Used by the ablation benchmark that illustrates *why* scaled problems
+    tolerate owner interference better.
+    """
+    rows: list[ScalingPoint] = []
+    for w in workstation_counts:
+        w = int(w)
+        fixed_job = JobSpec(
+            total_demand=fixed_job_demand, rounding=TaskRounding.INTERPOLATE
+        )
+        system = SystemSpec(workstations=w, owner=owner)
+        fixed_metrics = compute_metrics(evaluate(fixed_job, system))
+        rows.append(
+            ScalingPoint(
+                workstations=w,
+                utilization=float(owner.utilization or 0.0),
+                fixed_job_time=fixed_metrics.expected_job_time,
+                fixed_weighted_efficiency=fixed_metrics.weighted_efficiency,
+                fixed_task_ratio=fixed_metrics.task_ratio,
+                scaled_job_time=scaled_job_time(per_node_demand, w, owner),
+                scaled_inflation=response_time_inflation(per_node_demand, w, owner),
+                scaled_task_ratio=per_node_demand / owner.demand,
+            )
+        )
+    return rows

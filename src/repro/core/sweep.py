@@ -1,0 +1,166 @@
+"""Parameter-sweep utilities shared by the experiment harness and benchmarks.
+
+The paper's figures are all sweeps over one or two of the four model
+parameters (``W``, ``U``, ``O``, ``J``).  This module provides a small tidy
+"grid sweep" facility so each figure runner can declare its parameter grid and
+receive a flat list of result rows (one per grid point) with every metric
+attached, plus helpers to pivot those rows into per-curve series for plotting
+or table output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .analytical import evaluate
+from .metrics import MetricSet, compute_metrics
+from .params import JobSpec, OwnerSpec, SystemSpec, TaskRounding
+
+__all__ = [
+    "SweepGrid",
+    "SweepRow",
+    "run_sweep",
+    "group_rows",
+    "pivot_series",
+]
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cartesian parameter grid for the analytical model.
+
+    Attributes
+    ----------
+    job_demands:
+        Total job demands ``J`` to evaluate.
+    workstation_counts:
+        System sizes ``W`` to evaluate.
+    utilizations:
+        Owner utilizations ``U`` to evaluate.
+    owner_demands:
+        Owner service demands ``O`` to evaluate.
+    rounding:
+        Task-demand rounding policy applied to every point.
+    """
+
+    job_demands: Sequence[float]
+    workstation_counts: Sequence[int]
+    utilizations: Sequence[float]
+    owner_demands: Sequence[float] = (10.0,)
+    rounding: TaskRounding = TaskRounding.INTERPOLATE
+
+    def __post_init__(self) -> None:
+        for name in ("job_demands", "workstation_counts", "utilizations", "owner_demands"):
+            values = getattr(self, name)
+            if len(tuple(values)) == 0:
+                raise ValueError(f"{name} must not be empty")
+
+    def points(self) -> Iterable[tuple[float, int, float, float]]:
+        """Iterate the cartesian product ``(J, W, U, O)``."""
+        return itertools.product(
+            self.job_demands,
+            self.workstation_counts,
+            self.utilizations,
+            self.owner_demands,
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(tuple(self.job_demands))
+            * len(tuple(self.workstation_counts))
+            * len(tuple(self.utilizations))
+            * len(tuple(self.owner_demands))
+        )
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid point of a sweep with its full metric set."""
+
+    job_demand: float
+    workstations: int
+    utilization: float
+    owner_demand: float
+    metrics: MetricSet
+
+    def value(self, metric_name: str) -> float:
+        """Look up a metric by name (see :meth:`MetricSet.as_dict`)."""
+        return self.metrics.as_dict()[metric_name]
+
+
+def run_sweep(grid: SweepGrid) -> list[SweepRow]:
+    """Evaluate the analytical model at every point of the grid."""
+    rows: list[SweepRow] = []
+    for job_demand, workstations, utilization, owner_demand in grid.points():
+        job = JobSpec(total_demand=float(job_demand), rounding=grid.rounding)
+        owner = OwnerSpec(demand=float(owner_demand), utilization=float(utilization))
+        system = SystemSpec(workstations=int(workstations), owner=owner)
+        metrics = compute_metrics(evaluate(job, system))
+        rows.append(
+            SweepRow(
+                job_demand=float(job_demand),
+                workstations=int(workstations),
+                utilization=float(utilization),
+                owner_demand=float(owner_demand),
+                metrics=metrics,
+            )
+        )
+    return rows
+
+
+def group_rows(
+    rows: Sequence[SweepRow], by: str
+) -> dict[float, list[SweepRow]]:
+    """Group sweep rows by one of the grid dimensions.
+
+    ``by`` is one of ``"job_demand"``, ``"workstations"``, ``"utilization"``,
+    ``"owner_demand"``.  Groups preserve the original row order, which matches
+    the grid's iteration order.
+    """
+    valid = {"job_demand", "workstations", "utilization", "owner_demand"}
+    if by not in valid:
+        raise KeyError(f"cannot group by {by!r}; expected one of {sorted(valid)}")
+    grouped: dict[float, list[SweepRow]] = {}
+    for row in rows:
+        key = float(getattr(row, by))
+        grouped.setdefault(key, []).append(row)
+    return grouped
+
+
+def pivot_series(
+    rows: Sequence[SweepRow],
+    x: str,
+    y: str,
+    curve: str,
+) -> dict[float, tuple[NDArray[np.float64], NDArray[np.float64]]]:
+    """Pivot sweep rows into per-curve ``(x, y)`` series.
+
+    This is the shape the figure runners need: e.g. Figure 1 is
+    ``pivot_series(rows, x="workstations", y="speedup", curve="utilization")``
+    giving one ``(W, speedup)`` series per owner utilization.
+    """
+    grid_fields = {"job_demand", "workstations", "utilization", "owner_demand"}
+    series: dict[float, tuple[NDArray[np.float64], NDArray[np.float64]]] = {}
+    for key, group in group_rows(rows, curve).items():
+        xs = np.array(
+            [
+                float(getattr(r, x)) if x in grid_fields else r.value(x)
+                for r in group
+            ],
+            dtype=np.float64,
+        )
+        ys = np.array(
+            [
+                float(getattr(r, y)) if y in grid_fields else r.value(y)
+                for r in group
+            ],
+            dtype=np.float64,
+        )
+        order = np.argsort(xs, kind="stable")
+        series[key] = (xs[order], ys[order])
+    return series

@@ -1,0 +1,290 @@
+"""Process-oriented discrete-event simulation core.
+
+This is the substitute for the CSIM simulation language used by the paper
+(Section 2.2): simulated activities are ordinary Python generator functions
+("processes") that yield events — timeouts, resource requests or other
+processes — and the :class:`Environment` advances a virtual clock from event
+to event.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 3))
+>>> _ = env.process(worker(env, "b", 1))
+>>> env.run()
+>>> log
+[(1, 'b'), (3, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+from .events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Event, Timeout
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Interrupt",
+    "StopSimulation",
+    "EmptySchedule",
+]
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at the ``until`` event."""
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the agenda runs dry."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    ``cause`` carries arbitrary context — the preemptive resource uses it to
+    pass a :class:`~repro.desim.resources.Preempted` record describing who
+    preempted whom and how much service had been received.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that triggers when the generator returns
+    (successfully, carrying its return value) or raises (failing with the
+    exception).  Other processes can therefore ``yield`` a process to wait for
+    its completion — this is how the parallel-job model joins its tasks.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting for (None while resuming).
+        self._target: Optional[Event] = None
+        # Kick the process off at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks = [self._resume]
+        env._enqueue(init, URGENT)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process({name}) at t={self.env.now}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt this process, raising :class:`Interrupt` inside it.
+
+        Interrupting a finished process raises ``RuntimeError``; a process
+        cannot interrupt itself.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env._enqueue(interrupt_event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            # Detach from the event we were waiting on (it may have been an
+            # interrupt rather than the real target).
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._enqueue(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._enqueue(self, NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                # Yielding anything but an event is a programming error: fail
+                # the process so the mistake surfaces instead of hanging.
+                self._ok = False
+                self._value = RuntimeError(
+                    f"process yielded a non-event object: {next_event!r}"
+                )
+                self.env._enqueue(self, NORMAL)
+                self._generator.close()
+                break
+            if next_event.env is not self.env:
+                raise RuntimeError("cannot wait for an event from another environment")
+            if next_event.callbacks is None:
+                # Already processed: feed its value straight back in.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            break
+        self.env._active_process = None
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event agenda."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock / agenda ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if the agenda is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock to it."""
+        try:
+            when, _priority, _tie, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            raise event._value
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` units of simulated time."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator function's generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that triggers once all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that triggers once any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the agenda is empty;
+            a number
+                run until the clock reaches that time;
+            an :class:`Event`
+                run until that event has been processed and return its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.processed:
+                    return stop_event.value
+                assert stop_event.callbacks is not None
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise ValueError(
+                        f"until ({horizon}) must not be before the current time "
+                        f"({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks = [self._stop_callback]
+                self._enqueue(stop_event, URGENT, delay=horizon - self._now)
+        try:
+            while True:
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if stop_event.triggered and not stop_event._ok:
+                # Waiting on an event that failed: surface the failure to the
+                # caller of run() instead of silently returning the exception.
+                stop_event.defused = True
+                raise stop_event._value
+            return stop_event._value if stop_event._value is not PENDING else None
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                if isinstance(until, Event):
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited event "
+                        f"{until!r} was triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()

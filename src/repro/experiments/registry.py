@@ -1,0 +1,131 @@
+"""Registry mapping experiment ids to their runners.
+
+Every table/figure of the paper (and each reproduction-specific ablation) is
+registered here under a stable id so the CLI, the benchmarks and EXPERIMENTS.md
+all refer to experiments the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from . import ablations, figures, validation
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: id, description and zero-argument runner."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[[], object]
+    kind: str = "figure"
+
+    def run(self) -> object:
+        """Execute the experiment with its default (paper) parameters."""
+        return self.runner()
+
+
+def _fast_fig10() -> figures.FigureResult:
+    """Figure 10 with a reduced grid so the CLI default stays interactive."""
+    from ..workload import ValidationGrid
+
+    grid = ValidationGrid(replications=3)
+    return figures.run_fig10(grid=grid)
+
+
+def _fast_fig11() -> figures.FigureResult:
+    from ..workload import ValidationGrid
+
+    grid = ValidationGrid(replications=3)
+    return figures.run_fig11(grid=grid)
+
+
+def _fast_sim_validation() -> list[validation.ValidationPoint]:
+    return validation.run_simulation_validation(
+        workstation_counts=(1, 10, 50, 100), num_jobs=4000
+    )
+
+
+EXPERIMENTS: Mapping[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        Experiment("fig1", "Speedup vs workstations, J=1000", figures.run_fig01),
+        Experiment("fig2", "Efficiency vs workstations, J=1000", figures.run_fig02),
+        Experiment("fig3", "Weighted speedup vs workstations, J=1000", figures.run_fig03),
+        Experiment("fig4", "Weighted efficiency vs workstations, J=1000", figures.run_fig04),
+        Experiment("fig5", "Weighted speedup vs workstations, J=10000", figures.run_fig05),
+        Experiment("fig6", "Weighted efficiency vs workstations, J=10000", figures.run_fig06),
+        Experiment("fig7", "Weighted efficiency vs task ratio, W=60", figures.run_fig07),
+        Experiment("fig8", "Weighted efficiency vs task ratio, varying W, U=0.1", figures.run_fig08),
+        Experiment("fig9", "Scaled problem execution time vs workstations", figures.run_fig09),
+        Experiment("fig10", "Experimental validation: response time (simulated PVM)", _fast_fig10),
+        Experiment("fig11", "Experimental validation: speedups (simulated PVM)", _fast_fig11),
+        Experiment(
+            "thresholds",
+            "Section-5 minimum task ratios for 80% weighted efficiency",
+            figures.run_conclusions_thresholds,
+            kind="table",
+        ),
+        Experiment(
+            "scaled",
+            "Section-3.2 scaled-problem response-time inflation at W=100",
+            figures.run_conclusions_scaled,
+            kind="table",
+        ),
+        Experiment(
+            "sim-validation",
+            "Section-2.2 simulation vs analysis agreement",
+            _fast_sim_validation,
+            kind="validation",
+        ),
+        Experiment(
+            "ablation-owner-variance",
+            "Owner-demand variance ablation (deterministic / exponential / hyperexponential)",
+            ablations.owner_variance_ablation,
+            kind="ablation",
+        ),
+        Experiment(
+            "ablation-imbalance",
+            "Task-imbalance ablation",
+            ablations.imbalance_ablation,
+            kind="ablation",
+        ),
+        Experiment(
+            "ablation-sim-modes",
+            "Agreement of the analytic model and the three simulation back-ends",
+            ablations.sim_mode_agreement,
+            kind="ablation",
+        ),
+        Experiment(
+            "ablation-heterogeneity",
+            "Heterogeneous owner load: same average utilization, increasing skew",
+            ablations.heterogeneity_ablation,
+            kind="ablation",
+        ),
+        Experiment(
+            "ablation-scheduling",
+            "Static partitioning vs dynamic self-scheduling on the PVM substrate",
+            ablations.scheduling_ablation,
+            kind="ablation",
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (raises ``KeyError`` with the known ids)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments in registration order."""
+    return list(EXPERIMENTS.values())

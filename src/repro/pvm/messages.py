@@ -1,0 +1,171 @@
+"""Typed message buffers for the PVM-like substrate.
+
+PVM programs communicate by packing typed items into a send buffer
+(``pvm_pkint``, ``pvm_pkdouble``, ...), sending it with a tag, and unpacking
+on the receiving side in the same order.  :class:`MessageBuffer` reproduces
+that pack/unpack discipline (including the strict type/order checking that
+makes mismatched pack/unpack sequences fail loudly), and :class:`Message` is
+the envelope carried through the virtual machine: source/destination task ids,
+a tag, the buffer and its simulated size in bytes (used by the network model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["PackingError", "MessageBuffer", "Message", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcards accepted by ``recv`` (mirroring PVM's -1 conventions).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Simulated sizes (bytes) of each packable item type, used for network timing.
+_TYPE_SIZES = {
+    "int": 4,
+    "double": 8,
+    "string": 1,  # per character
+    "int_array": 4,  # per element
+    "double_array": 8,  # per element
+}
+
+
+class PackingError(RuntimeError):
+    """Raised when unpacking does not match the packing order or types."""
+
+
+@dataclass
+class MessageBuffer:
+    """An ordered, typed sequence of packed items (PVM send/receive buffer)."""
+
+    _items: list[tuple[str, Any]] = field(default_factory=list)
+    _cursor: int = 0
+
+    # -- packing -----------------------------------------------------------
+    def pack_int(self, value: int) -> "MessageBuffer":
+        """Pack a single integer."""
+        self._items.append(("int", int(value)))
+        return self
+
+    def pack_double(self, value: float) -> "MessageBuffer":
+        """Pack a single double-precision float."""
+        self._items.append(("double", float(value)))
+        return self
+
+    def pack_string(self, value: str) -> "MessageBuffer":
+        """Pack a character string."""
+        self._items.append(("string", str(value)))
+        return self
+
+    def pack_int_array(self, values: Sequence[int]) -> "MessageBuffer":
+        """Pack an array of integers."""
+        self._items.append(("int_array", np.asarray(values, dtype=np.int64).copy()))
+        return self
+
+    def pack_double_array(self, values: Sequence[float]) -> "MessageBuffer":
+        """Pack an array of doubles."""
+        self._items.append(
+            ("double_array", np.asarray(values, dtype=np.float64).copy())
+        )
+        return self
+
+    # -- unpacking ---------------------------------------------------------
+    def _unpack(self, expected_type: str) -> Any:
+        if self._cursor >= len(self._items):
+            raise PackingError(
+                f"attempted to unpack {expected_type!r} but the buffer is exhausted"
+            )
+        actual_type, value = self._items[self._cursor]
+        if actual_type != expected_type:
+            raise PackingError(
+                f"unpack type mismatch at position {self._cursor}: buffer holds "
+                f"{actual_type!r}, caller asked for {expected_type!r}"
+            )
+        self._cursor += 1
+        return value
+
+    def unpack_int(self) -> int:
+        """Unpack the next item as an integer."""
+        return self._unpack("int")
+
+    def unpack_double(self) -> float:
+        """Unpack the next item as a double."""
+        return self._unpack("double")
+
+    def unpack_string(self) -> str:
+        """Unpack the next item as a string."""
+        return self._unpack("string")
+
+    def unpack_int_array(self) -> np.ndarray:
+        """Unpack the next item as an integer array."""
+        return self._unpack("int_array")
+
+    def unpack_double_array(self) -> np.ndarray:
+        """Unpack the next item as a double array."""
+        return self._unpack("double_array")
+
+    # -- introspection -----------------------------------------------------
+    def rewind(self) -> None:
+        """Reset the unpack cursor to the beginning of the buffer."""
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._items)
+
+    @property
+    def remaining(self) -> int:
+        """Number of items not yet unpacked."""
+        return len(self._items) - self._cursor
+
+    @property
+    def nbytes(self) -> int:
+        """Simulated wire size of the packed data in bytes."""
+        total = 0
+        for item_type, value in self._items:
+            unit = _TYPE_SIZES[item_type]
+            if item_type == "string":
+                total += unit * len(value)
+            elif item_type.endswith("_array"):
+                total += unit * len(value)
+            else:
+                total += unit
+        return total
+
+    def copy(self) -> "MessageBuffer":
+        """Deep-enough copy delivered to the receiver (arrays are copied)."""
+        items = [
+            (t, v.copy() if isinstance(v, np.ndarray) else v) for t, v in self._items
+        ]
+        return MessageBuffer(_items=items, _cursor=0)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight (or delivered) inside the virtual machine."""
+
+    source: int
+    destination: int
+    tag: int
+    buffer: MessageBuffer
+    sent_at: float
+    delivered_at: float = float("nan")
+
+    @property
+    def nbytes(self) -> int:
+        return self.buffer.nbytes
+
+    @property
+    def latency(self) -> float:
+        """Simulated transit time (NaN until delivered)."""
+        return self.delivered_at - self.sent_at
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message satisfies a ``recv(source, tag)`` with wildcards."""
+        source_ok = source == ANY_SOURCE or source == self.source
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return source_ok and tag_ok

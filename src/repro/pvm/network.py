@@ -1,0 +1,89 @@
+"""Local-area-network model for the PVM-like substrate.
+
+The paper's experimental platform is a handful of workstations on a LAN; its
+"local computation" benchmark deliberately has no interprocess communication,
+so the network only matters for task spawning and for returning per-task
+timings to the master.  We model the LAN as a simple latency + bandwidth pipe
+with an optional shared-medium (Ethernet-like) mode in which transfers
+serialise on a single channel — enough to (a) charge realistic, non-zero costs
+for control traffic, and (b) support communication-bearing example programs
+built on the same substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..desim import Environment, Resource
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Latency/bandwidth description of the LAN."""
+
+    latency: float = 0.001
+    bytes_per_time_unit: float = 1_250_000.0
+    shared_medium: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency!r}")
+        if self.bytes_per_time_unit <= 0:
+            raise ValueError(
+                f"bytes_per_time_unit must be positive, got {self.bytes_per_time_unit!r}"
+            )
+
+
+class NetworkModel:
+    """Charges simulated time for message transfers between hosts.
+
+    ``transfer_time(nbytes)`` is ``latency + nbytes / bandwidth``; messages
+    between a host and itself are free (PVM short-circuits local delivery).
+    With ``shared_medium=True`` all transfers additionally serialise on one
+    channel, modelling a classic shared Ethernet segment.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float = 0.001,
+        bytes_per_time_unit: float = 1_250_000.0,
+        shared_medium: bool = False,
+    ) -> None:
+        self.env = env
+        self.params = NetworkParameters(
+            latency=latency,
+            bytes_per_time_unit=bytes_per_time_unit,
+            shared_medium=shared_medium,
+        )
+        self._channel = Resource(env, capacity=1) if shared_medium else None
+        #: Total bytes carried (book-keeping for experiments).
+        self.bytes_transferred = 0
+        #: Total messages carried.
+        self.messages_transferred = 0
+
+    def transfer_time(self, nbytes: int, same_host: bool = False) -> float:
+        """Pure transfer delay for a message of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        if same_host:
+            return 0.0
+        return self.params.latency + nbytes / self.params.bytes_per_time_unit
+
+    def transmit(self, nbytes: int, same_host: bool = False) -> Generator:
+        """Process generator that waits for one message transfer to complete."""
+        delay = self.transfer_time(nbytes, same_host)
+        if not same_host:
+            self.bytes_transferred += int(nbytes)
+            self.messages_transferred += 1
+        if delay <= 0.0:
+            return
+        if self._channel is None:
+            yield self.env.timeout(delay)
+            return
+        with self._channel.request() as req:
+            yield req
+            yield self.env.timeout(delay)

@@ -1,0 +1,23 @@
+"""Simulation output analysis: batch means, confidence intervals, replications."""
+
+from .batch_means import (
+    BatchMeansResult,
+    batch_means_interval,
+    batch_observations,
+    lag1_autocorrelation,
+)
+from .confidence import ConfidenceInterval, mean_confidence_interval, t_confidence_interval
+from .summary import ReplicationSummary, compare_to_reference, summarize_replications
+
+__all__ = [
+    "ConfidenceInterval",
+    "t_confidence_interval",
+    "mean_confidence_interval",
+    "BatchMeansResult",
+    "batch_means_interval",
+    "batch_observations",
+    "lag1_autocorrelation",
+    "ReplicationSummary",
+    "summarize_replications",
+    "compare_to_reference",
+]

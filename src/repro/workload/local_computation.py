@@ -1,0 +1,89 @@
+"""The paper's "local computation" problem and its problem-size ladder.
+
+Section 4 measures five problem sizes whose *single dedicated machine*
+running times are 1, 2, 4, 8 and 16 minutes.  The analytical model works in
+abstract time units, so the only calibration needed is the choice of one
+model time unit; following the paper's analysis section we keep the owner
+demand at ``O = 10`` units and express job demands in the same units (the
+default maps one unit to one second, making a 1-minute problem 60 units).
+
+:class:`LocalComputationProblem` captures one rung of that ladder and
+:func:`standard_problem_ladder` builds the paper's five problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.params import JobSpec, TaskRounding
+
+__all__ = [
+    "SECONDS_PER_UNIT",
+    "LocalComputationProblem",
+    "standard_problem_ladder",
+    "PAPER_PROBLEM_MINUTES",
+]
+
+#: Default calibration: one model time unit = one second of 1993 Sun ELC time.
+SECONDS_PER_UNIT = 1.0
+
+#: The five problem sizes (minutes on one dedicated workstation) of Section 4.
+PAPER_PROBLEM_MINUTES: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass(frozen=True)
+class LocalComputationProblem:
+    """A perfectly parallel problem defined by its single-machine running time."""
+
+    minutes: float
+    seconds_per_unit: float = SECONDS_PER_UNIT
+
+    def __post_init__(self) -> None:
+        if self.minutes <= 0:
+            raise ValueError(f"minutes must be positive, got {self.minutes!r}")
+        if self.seconds_per_unit <= 0:
+            raise ValueError(
+                f"seconds_per_unit must be positive, got {self.seconds_per_unit!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        if self.minutes == int(self.minutes):
+            return f"demand-{int(self.minutes)}min"
+        return f"demand-{self.minutes}min"
+
+    @property
+    def total_demand_seconds(self) -> float:
+        """Demand in seconds on a single dedicated machine."""
+        return self.minutes * 60.0
+
+    @property
+    def total_demand_units(self) -> float:
+        """Demand in model time units (``J`` of the analytical model)."""
+        return self.total_demand_seconds / self.seconds_per_unit
+
+    def job_spec(self, rounding: TaskRounding = TaskRounding.INTERPOLATE) -> JobSpec:
+        """The :class:`JobSpec` describing this problem for the analytical model."""
+        return JobSpec(total_demand=self.total_demand_units, rounding=rounding)
+
+    def task_demand_units(self, workstations: int) -> float:
+        """Per-task demand when split over ``workstations`` nodes."""
+        if workstations < 1:
+            raise ValueError(f"workstations must be >= 1, got {workstations!r}")
+        return self.total_demand_units / workstations
+
+    def to_seconds(self, units: float) -> float:
+        """Convert a duration in model units back to seconds."""
+        return units * self.seconds_per_unit
+
+
+def standard_problem_ladder(
+    minutes: Sequence[float] = PAPER_PROBLEM_MINUTES,
+    seconds_per_unit: float = SECONDS_PER_UNIT,
+) -> list[LocalComputationProblem]:
+    """The paper's five-problem ladder (1, 2, 4, 8, 16 minutes)."""
+    return [
+        LocalComputationProblem(minutes=float(m), seconds_per_unit=seconds_per_unit)
+        for m in minutes
+    ]

@@ -1,0 +1,94 @@
+"""Workload sweeps for the experimental-validation experiments (Figures 10-11).
+
+The paper's measurement grid is: workstations 1..12 x problem sizes
+{1, 2, 4, 8, 16} minutes x 10 repetitions, owner utilization ≈ 3%.
+:class:`ValidationGrid` captures that grid (with every dimension overridable)
+and :func:`iterate_grid` walks it in the order the figures are drawn.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..core.params import OwnerSpec
+from .local_computation import PAPER_PROBLEM_MINUTES, LocalComputationProblem, standard_problem_ladder
+
+__all__ = ["ValidationGrid", "GridPoint", "iterate_grid"]
+
+#: Owner utilization measured by the paper's uptime survey.
+PAPER_MEASURED_UTILIZATION = 0.03
+
+#: Workstation counts actually plotted in Figures 10-11.
+PAPER_WORKSTATION_COUNTS: tuple[int, ...] = (1, 2, 4, 6, 8, 10, 12)
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the validation grid."""
+
+    problem: LocalComputationProblem
+    workstations: int
+    replication: int
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.problem.name}-W{self.workstations}-rep{self.replication}"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationGrid:
+    """The Section-4 measurement grid."""
+
+    problem_minutes: Sequence[float] = PAPER_PROBLEM_MINUTES
+    workstation_counts: Sequence[int] = PAPER_WORKSTATION_COUNTS
+    replications: int = 10
+    owner_utilization: float = PAPER_MEASURED_UTILIZATION
+    owner_demand: float = 10.0
+    seconds_per_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError(f"replications must be >= 1, got {self.replications!r}")
+        if not 0.0 <= self.owner_utilization < 1.0:
+            raise ValueError(
+                f"owner_utilization must be in [0, 1), got {self.owner_utilization!r}"
+            )
+        if not self.problem_minutes:
+            raise ValueError("problem_minutes must not be empty")
+        if not self.workstation_counts:
+            raise ValueError("workstation_counts must not be empty")
+        for w in self.workstation_counts:
+            if int(w) < 1:
+                raise ValueError(f"workstation counts must be >= 1, got {w!r}")
+
+    @property
+    def problems(self) -> list[LocalComputationProblem]:
+        return standard_problem_ladder(self.problem_minutes, self.seconds_per_unit)
+
+    @property
+    def owner_spec(self) -> OwnerSpec:
+        return OwnerSpec(demand=self.owner_demand, utilization=self.owner_utilization)
+
+    @property
+    def num_points(self) -> int:
+        return (
+            len(tuple(self.problem_minutes))
+            * len(tuple(self.workstation_counts))
+            * self.replications
+        )
+
+
+def iterate_grid(grid: ValidationGrid) -> Iterator[GridPoint]:
+    """Walk the grid problem-by-problem, then workstation count, then replication."""
+    for problem, workstations, replication in itertools.product(
+        grid.problems, grid.workstation_counts, range(grid.replications)
+    ):
+        yield GridPoint(
+            problem=problem,
+            workstations=int(workstations),
+            replication=int(replication),
+        )

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import JobSpec, OwnerSpec, SystemSpec, TaskRounding
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_owner() -> OwnerSpec:
+    """The owner spec used throughout the paper's analysis (O=10, U=10%)."""
+    return OwnerSpec(demand=10.0, utilization=0.10)
+
+
+@pytest.fixture
+def light_owner() -> OwnerSpec:
+    """A lightly loaded owner (O=10, U=1%)."""
+    return OwnerSpec(demand=10.0, utilization=0.01)
+
+
+@pytest.fixture
+def idle_owner() -> OwnerSpec:
+    """A dedicated workstation's owner (never interferes)."""
+    return OwnerSpec(demand=10.0, utilization=0.0)
+
+
+@pytest.fixture
+def paper_job() -> JobSpec:
+    """The fixed-size job of Figures 1-4 (J = 1000)."""
+    return JobSpec(total_demand=1000.0, rounding=TaskRounding.INTERPOLATE)
+
+
+@pytest.fixture
+def small_system(paper_owner: OwnerSpec) -> SystemSpec:
+    """A small system convenient for fast simulations."""
+    return SystemSpec(workstations=10, owner=paper_owner)

@@ -1,0 +1,112 @@
+"""Tests for cluster job splitting and result records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import JobResult, TaskResult, balanced_tasks, imbalanced_tasks
+
+
+class TestBalancedTasks:
+    def test_even_split(self):
+        demands = balanced_tasks(1000.0, 10)
+        assert demands.shape == (10,)
+        np.testing.assert_allclose(demands, 100.0)
+
+    def test_sum_preserved(self):
+        demands = balanced_tasks(997.0, 7)
+        assert demands.sum() == pytest.approx(997.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            balanced_tasks(0.0, 5)
+        with pytest.raises(ValueError):
+            balanced_tasks(10.0, 0)
+
+
+class TestImbalancedTasks:
+    def test_sum_preserved(self, rng):
+        demands = imbalanced_tasks(1000.0, 10, 0.3, rng)
+        assert demands.sum() == pytest.approx(1000.0)
+        assert demands.shape == (10,)
+
+    def test_zero_imbalance_is_balanced(self, rng):
+        demands = imbalanced_tasks(1000.0, 10, 0.0, rng)
+        np.testing.assert_allclose(demands, 100.0)
+
+    def test_bounded_relative_deviation(self, rng):
+        imbalance = 0.25
+        demands = imbalanced_tasks(1000.0, 50, imbalance, rng)
+        mean = 1000.0 / 50
+        # Renormalisation can stretch slightly beyond the nominal bound;
+        # give a small margin.
+        assert np.all(np.abs(demands - mean) / mean <= imbalance * 1.6)
+
+    def test_single_workstation(self, rng):
+        demands = imbalanced_tasks(500.0, 1, 0.5, rng)
+        np.testing.assert_allclose(demands, [500.0])
+
+    def test_invalid_imbalance(self, rng):
+        with pytest.raises(ValueError):
+            imbalanced_tasks(100.0, 4, 1.0, rng)
+
+
+def _make_task(workstation: int, demand: float, start: float, end: float, preemptions: int = 0) -> TaskResult:
+    return TaskResult(
+        workstation=workstation,
+        demand=demand,
+        start_time=start,
+        end_time=end,
+        preemptions=preemptions,
+    )
+
+
+class TestTaskResult:
+    def test_execution_time_and_delay(self):
+        task = _make_task(0, 100.0, 5.0, 125.0, preemptions=2)
+        assert task.execution_time == pytest.approx(120.0)
+        assert task.interference_delay == pytest.approx(20.0)
+
+
+class TestJobResult:
+    def test_response_time_is_last_finisher(self):
+        job = JobResult(
+            job_id=1,
+            start_time=0.0,
+            tasks=(
+                _make_task(0, 100.0, 0.0, 100.0),
+                _make_task(1, 100.0, 0.0, 130.0, preemptions=3),
+                _make_task(2, 100.0, 0.0, 110.0, preemptions=1),
+            ),
+        )
+        assert job.response_time == pytest.approx(130.0)
+        assert job.max_task_time == pytest.approx(130.0)
+        assert job.mean_task_time == pytest.approx((100 + 130 + 110) / 3)
+        assert job.total_demand == pytest.approx(300.0)
+        assert job.total_preemptions == 4
+        assert job.workstations == 3
+
+    def test_speedup_versus(self):
+        job = JobResult(
+            job_id=0,
+            start_time=0.0,
+            tasks=(_make_task(0, 100.0, 0.0, 110.0),),
+        )
+        assert job.speedup_versus(440.0) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            job.speedup_versus(0.0)
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError):
+            JobResult(job_id=0, start_time=0.0, tasks=())
+
+    def test_response_counts_from_job_start(self):
+        # Tasks may start after the job (spawn delay); response time is
+        # measured from the job's own start.
+        job = JobResult(
+            job_id=0,
+            start_time=10.0,
+            tasks=(_make_task(0, 50.0, 12.0, 70.0),),
+        )
+        assert job.response_time == pytest.approx(60.0)

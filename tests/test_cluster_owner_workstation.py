@@ -1,0 +1,133 @@
+"""Tests for the cluster owner model and workstation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    OWNER_PRIORITY,
+    TASK_PRIORITY,
+    OwnerBehavior,
+    TaskExecution,
+    Workstation,
+)
+from repro.core import OwnerSpec
+from repro.desim import Environment, GeometricVariate, DeterministicVariate
+
+
+class TestOwnerBehavior:
+    def test_from_spec_nominal_utilization(self, paper_owner):
+        behavior = OwnerBehavior.from_spec(paper_owner)
+        assert behavior.mean_demand == pytest.approx(10.0)
+        assert behavior.utilization == pytest.approx(0.1, rel=1e-6)
+        assert not behavior.is_idle
+
+    def test_from_idle_spec(self, idle_owner):
+        behavior = OwnerBehavior.from_spec(idle_owner)
+        assert behavior.is_idle
+        assert behavior.utilization == 0.0
+
+    def test_demand_kind_preserves_mean(self, paper_owner):
+        for kind in ("deterministic", "exponential", "hyperexponential"):
+            behavior = OwnerBehavior.from_spec(paper_owner, demand_kind=kind)
+            assert behavior.mean_demand == pytest.approx(10.0)
+            assert behavior.utilization == pytest.approx(0.1, rel=1e-6)
+
+    def test_with_demand_kind(self, paper_owner):
+        base = OwnerBehavior.from_spec(paper_owner)
+        exponential = base.with_demand_kind("exponential")
+        assert exponential.mean_demand == pytest.approx(base.mean_demand)
+        assert exponential.think_time is base.think_time
+
+    def test_to_spec_roundtrip(self, paper_owner):
+        behavior = OwnerBehavior.from_spec(paper_owner)
+        spec = behavior.to_spec()
+        assert spec.demand == pytest.approx(10.0)
+        assert spec.utilization == pytest.approx(0.1, rel=1e-3)
+
+    def test_priorities_ordering(self):
+        # Owner priority must be numerically smaller (more important) than tasks.
+        assert OWNER_PRIORITY < TASK_PRIORITY
+
+
+class TestWorkstationTaskExecution:
+    def test_task_without_owner_runs_at_full_speed(self, idle_owner, rng):
+        env = Environment()
+        station = Workstation(env, 0, OwnerBehavior.from_spec(idle_owner), rng)
+        station.start_owner()
+        proc = env.process(station.execute_task(50.0))
+        env.run(until=proc)
+        record = proc.value
+        assert isinstance(record, TaskExecution)
+        assert record.elapsed == pytest.approx(50.0)
+        assert record.preemptions == 0
+        assert record.delay == pytest.approx(0.0)
+        assert record.finished
+
+    def test_task_with_busy_owner_is_delayed(self, rng):
+        # A deterministic owner that wakes every 20 units and works 10 units.
+        behavior = OwnerBehavior(
+            think_time=DeterministicVariate(20.0), demand=DeterministicVariate(10.0)
+        )
+        env = Environment()
+        station = Workstation(env, 0, behavior, rng)
+        station.start_owner()
+        proc = env.process(station.execute_task(100.0))
+        env.run(until=proc)
+        record = proc.value
+        assert record.elapsed > 100.0
+        assert record.preemptions >= 1
+        assert record.delay == pytest.approx(record.elapsed - 100.0)
+
+    def test_measured_owner_utilization_close_to_nominal(self, rng):
+        behavior = OwnerBehavior(
+            think_time=GeometricVariate(0.05), demand=DeterministicVariate(5.0)
+        )
+        env = Environment()
+        station = Workstation(env, 0, behavior, rng)
+        station.start_owner()
+
+        def idle_task(env):
+            # Keep the simulation alive long enough to observe the owner.
+            yield env.timeout(50_000)
+
+        env.run(until=env.process(idle_task(env)))
+        measured = station.measured_owner_utilization()
+        assert measured == pytest.approx(behavior.utilization, rel=0.15)
+
+    def test_invalid_task_demand(self, idle_owner, rng):
+        env = Environment()
+        station = Workstation(env, 0, OwnerBehavior.from_spec(idle_owner), rng)
+        with pytest.raises(ValueError):
+            list(station.execute_task(0.0))
+
+    def test_owner_not_started_means_no_interference(self, paper_owner, rng):
+        env = Environment()
+        station = Workstation(env, 0, OwnerBehavior.from_spec(paper_owner), rng)
+        # Deliberately do NOT start the owner.
+        proc = env.process(station.execute_task(200.0))
+        env.run(until=proc)
+        assert proc.value.elapsed == pytest.approx(200.0)
+        assert not station.owner_running
+
+    def test_start_owner_idempotent(self, paper_owner, rng):
+        env = Environment()
+        station = Workstation(env, 0, OwnerBehavior.from_spec(paper_owner), rng)
+        station.start_owner()
+        first = station._owner_proc
+        station.start_owner()
+        assert station._owner_proc is first
+
+    def test_sequential_tasks_recorded(self, idle_owner, rng):
+        env = Environment()
+        station = Workstation(env, 0, OwnerBehavior.from_spec(idle_owner), rng)
+
+        def run_two(env):
+            yield env.process(station.execute_task(10.0))
+            yield env.process(station.execute_task(20.0))
+
+        env.run(until=env.process(run_two(env)))
+        assert len(station.executions) == 2
+        assert station.executions[0].elapsed == pytest.approx(10.0)
+        assert station.executions[1].elapsed == pytest.approx(20.0)

@@ -1,0 +1,214 @@
+"""Tests for the three cluster-simulation back-ends and their agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DiscreteTimeSimulator,
+    EventDrivenClusterSimulator,
+    MonteCarloSampler,
+    SimulationConfig,
+    run_simulation,
+    simulate_task_discrete,
+    validate_against_analysis,
+)
+from repro.core import OwnerSpec, expected_job_time, expected_task_time
+
+
+@pytest.fixture
+def base_config(paper_owner) -> SimulationConfig:
+    return SimulationConfig(
+        workstations=10,
+        task_demand=100.0,
+        owner=paper_owner,
+        num_jobs=2000,
+        seed=42,
+    )
+
+
+class TestSimulationConfig:
+    def test_job_demand(self, base_config):
+        assert base_config.job_demand == pytest.approx(1000.0)
+
+    def test_model_inputs(self, base_config):
+        inputs = base_config.model_inputs
+        assert inputs.task_demand == 100.0
+        assert inputs.workstations == 10
+        assert inputs.utilization == pytest.approx(0.1)
+
+    def test_validation(self, paper_owner):
+        with pytest.raises(ValueError):
+            SimulationConfig(workstations=0, task_demand=10, owner=paper_owner)
+        with pytest.raises(ValueError):
+            SimulationConfig(workstations=1, task_demand=0, owner=paper_owner)
+        with pytest.raises(ValueError):
+            SimulationConfig(workstations=1, task_demand=10, owner=paper_owner, num_jobs=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                workstations=1, task_demand=10, owner=paper_owner, num_jobs=10, num_batches=20
+            )
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                workstations=1, task_demand=10, owner=paper_owner, imbalance=1.5
+            )
+
+
+class TestSimulateTaskDiscrete:
+    def test_no_interference(self, rng):
+        time, interruptions = simulate_task_discrete(100, 10.0, 0.0, rng)
+        assert time == 100.0
+        assert interruptions == 0
+
+    def test_always_interrupted(self, rng):
+        time, interruptions = simulate_task_discrete(10, 5.0, 1.0, rng)
+        assert interruptions == 10
+        assert time == pytest.approx(10 + 10 * 5.0)
+
+    def test_time_formula(self, rng):
+        time, interruptions = simulate_task_discrete(50, 7.0, 0.2, rng)
+        assert time == pytest.approx(50 + interruptions * 7.0)
+
+    def test_mean_matches_analysis(self, rng):
+        samples = [simulate_task_discrete(100, 10.0, 0.05, rng)[0] for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(
+            expected_task_time(100, 10.0, 0.05), rel=0.02
+        )
+
+    def test_invalid_demand(self, rng):
+        with pytest.raises(ValueError):
+            simulate_task_discrete(0, 10.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            simulate_task_discrete(10.5, 10.0, 0.1, rng)
+
+
+class TestMonteCarloSampler:
+    def test_matches_analysis(self, base_config):
+        comparison = validate_against_analysis(base_config, "monte-carlo")
+        assert abs(comparison["job_time_relative_error"]) < 0.01
+        assert abs(comparison["task_time_relative_error"]) < 0.01
+
+    def test_reproducible_with_seed(self, base_config):
+        a = MonteCarloSampler(base_config).run()
+        b = MonteCarloSampler(base_config).run()
+        np.testing.assert_allclose(a.job_times, b.job_times)
+
+    def test_different_seeds_differ(self, paper_owner):
+        cfg1 = SimulationConfig(workstations=5, task_demand=50, owner=paper_owner, num_jobs=200, seed=1)
+        cfg2 = SimulationConfig(workstations=5, task_demand=50, owner=paper_owner, num_jobs=200, seed=2)
+        a = MonteCarloSampler(cfg1).run()
+        b = MonteCarloSampler(cfg2).run()
+        assert not np.allclose(a.job_times, b.job_times)
+
+    def test_result_properties(self, base_config):
+        result = MonteCarloSampler(base_config).run()
+        assert result.num_jobs == base_config.num_jobs
+        assert result.mean_job_time >= result.mean_task_time
+        assert result.speedup() == pytest.approx(
+            base_config.job_demand / result.mean_job_time
+        )
+        assert 0 < result.weighted_efficiency() <= 1.0
+        assert "monte-carlo" in result.summary()
+
+    def test_job_times_bounded(self, base_config):
+        result = MonteCarloSampler(base_config).run()
+        t, o = base_config.task_demand, base_config.owner.demand
+        assert np.all(result.job_times >= t)
+        assert np.all(result.job_times <= t + t * o)
+
+    def test_ci_meets_paper_precision(self, paper_owner):
+        # With the paper's 20 x 1000 setup the 90% CI half-width is <= 1%.
+        config = SimulationConfig(
+            workstations=10, task_demand=100, owner=paper_owner, num_jobs=20_000, seed=0
+        )
+        result = MonteCarloSampler(config).run()
+        assert result.job_time_interval.relative_half_width <= 0.01
+
+
+class TestDiscreteTimeSimulator:
+    def test_matches_analysis(self, paper_owner):
+        config = SimulationConfig(
+            workstations=5, task_demand=50, owner=paper_owner, num_jobs=400, seed=3
+        )
+        comparison = validate_against_analysis(config, "discrete-time")
+        assert abs(comparison["job_time_relative_error"]) < 0.05
+
+    def test_agrees_with_monte_carlo(self, paper_owner):
+        config = SimulationConfig(
+            workstations=5, task_demand=50, owner=paper_owner, num_jobs=500, seed=4
+        )
+        dt = DiscreteTimeSimulator(config).run()
+        mc = MonteCarloSampler(config).run()
+        assert dt.mean_job_time == pytest.approx(mc.mean_job_time, rel=0.05)
+
+
+class TestEventDrivenSimulator:
+    def test_close_to_analysis_but_pessimistic_or_equal(self, paper_owner):
+        config = SimulationConfig(
+            workstations=8, task_demand=100, owner=paper_owner, num_jobs=300, seed=5
+        )
+        result = EventDrivenClusterSimulator(config).run()
+        analytic = expected_job_time(100, 8, 10.0, paper_owner.request_probability)
+        # Event-driven relaxes the optimistic assumptions, so it should be in
+        # the same ballpark but not significantly below the analytic value.
+        assert result.mean_job_time == pytest.approx(analytic, rel=0.10)
+        assert result.mean_job_time >= 100.0
+
+    def test_measured_utilization_reported(self, paper_owner):
+        config = SimulationConfig(
+            workstations=4, task_demand=100, owner=paper_owner, num_jobs=200, seed=6
+        )
+        result = EventDrivenClusterSimulator(config).run()
+        assert result.measured_owner_utilization is not None
+        assert result.measured_owner_utilization == pytest.approx(0.1, abs=0.05)
+
+    def test_idle_owner_gives_ideal_times(self, idle_owner):
+        config = SimulationConfig(
+            workstations=4, task_demand=100, owner=idle_owner, num_jobs=50, seed=7
+        )
+        result = EventDrivenClusterSimulator(config).run()
+        assert result.mean_job_time == pytest.approx(100.0)
+        assert result.mean_task_time == pytest.approx(100.0)
+
+    def test_imbalance_increases_job_time(self, idle_owner):
+        balanced = SimulationConfig(
+            workstations=8, task_demand=100, owner=idle_owner, num_jobs=100, seed=8,
+            imbalance=0.0,
+        )
+        skewed = SimulationConfig(
+            workstations=8, task_demand=100, owner=idle_owner, num_jobs=100, seed=8,
+            imbalance=0.4,
+        )
+        t_balanced = EventDrivenClusterSimulator(balanced).run().mean_job_time
+        t_skewed = EventDrivenClusterSimulator(skewed).run().mean_job_time
+        assert t_skewed > t_balanced
+
+    def test_owner_variance_hurts(self, paper_owner):
+        base = SimulationConfig(
+            workstations=10, task_demand=100, owner=paper_owner, num_jobs=300, seed=9,
+            owner_demand_kind="deterministic",
+        )
+        noisy = SimulationConfig(
+            workstations=10, task_demand=100, owner=paper_owner, num_jobs=300, seed=9,
+            owner_demand_kind="hyperexponential",
+            owner_demand_kwargs={"squared_cv": 9.0},
+        )
+        t_base = EventDrivenClusterSimulator(base).run().mean_job_time
+        t_noisy = EventDrivenClusterSimulator(noisy).run().mean_job_time
+        assert t_noisy > t_base
+
+
+class TestRunSimulationDispatch:
+    def test_all_modes_run(self, paper_owner):
+        config = SimulationConfig(
+            workstations=3, task_demand=30, owner=paper_owner, num_jobs=60, seed=10
+        )
+        for mode in ("monte-carlo", "discrete-time", "event-driven"):
+            result = run_simulation(config, mode)  # type: ignore[arg-type]
+            assert result.mode == mode
+            assert result.num_jobs == 60
+
+    def test_unknown_mode(self, base_config):
+        with pytest.raises(ValueError):
+            run_simulation(base_config, "quantum")  # type: ignore[arg-type]

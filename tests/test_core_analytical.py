@@ -1,0 +1,212 @@
+"""Tests for repro.core.analytical: Eqs. 1-8 of the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JobSpec,
+    OwnerSpec,
+    SystemSpec,
+    TaskRounding,
+    evaluate,
+    evaluate_inputs,
+    expected_job_time,
+    expected_task_time,
+    job_time_distribution,
+    job_time_quantile,
+    sweep_utilizations,
+    sweep_workstations,
+    task_time_distribution,
+    worst_case_task_time,
+)
+from repro.core.params import ModelInputs
+
+
+class TestExpectedTaskTime:
+    def test_closed_form(self):
+        # E_t = T + O * T * P
+        assert expected_task_time(100, 10.0, 0.01) == pytest.approx(110.0)
+        assert expected_task_time(1000, 10.0, 0.0) == pytest.approx(1000.0)
+
+    def test_fractional_task_demand(self):
+        assert expected_task_time(50.5, 10.0, 0.02) == pytest.approx(50.5 + 10 * 50.5 * 0.02)
+
+    def test_matches_distribution_mean(self):
+        t, o, p = 200, 10.0, 0.015
+        support, pmf = task_time_distribution(t, o, p)
+        assert expected_task_time(t, o, p) == pytest.approx(float(np.dot(support, pmf)))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_task_time(0, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_task_time(10, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_task_time(10, 10.0, 1.5)
+
+
+class TestWorstCase:
+    def test_upper_bound(self):
+        assert worst_case_task_time(100, 10.0) == pytest.approx(1100.0)
+
+    def test_expected_never_exceeds_worst_case(self):
+        for p in (0.0, 0.01, 0.5, 1.0):
+            assert expected_task_time(100, 10.0, p) <= worst_case_task_time(100, 10.0) + 1e-9
+
+    def test_job_time_never_exceeds_worst_case(self):
+        for w in (1, 10, 100):
+            ej = expected_job_time(100, w, 10.0, 0.05)
+            assert ej <= worst_case_task_time(100, 10.0) + 1e-9
+
+
+class TestTaskTimeDistribution:
+    def test_support_structure(self):
+        support, pmf = task_time_distribution(10, 5.0, 0.1)
+        np.testing.assert_allclose(support, 10 + 5.0 * np.arange(11))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_requires_integer_demand(self):
+        with pytest.raises(ValueError):
+            task_time_distribution(10.5, 5.0, 0.1)
+
+
+class TestExpectedJobTime:
+    def test_one_workstation_equals_task_time(self):
+        assert expected_job_time(100, 1, 10.0, 0.02) == pytest.approx(
+            expected_task_time(100, 10.0, 0.02)
+        )
+
+    def test_zero_utilization_is_dedicated(self):
+        assert expected_job_time(100, 50, 10.0, 0.0) == pytest.approx(100.0)
+
+    def test_monotone_in_workstations(self):
+        values = [expected_job_time(100, w, 10.0, 0.01) for w in (1, 2, 5, 20, 100)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_probability(self):
+        values = [expected_job_time(100, 10, 10.0, p) for p in (0.0, 0.005, 0.02, 0.1)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_bounded_between_t_and_worst_case(self):
+        ej = expected_job_time(200, 30, 10.0, 0.03)
+        assert 200.0 <= ej <= 200.0 + 200 * 10.0
+
+    def test_matches_distribution_mean(self):
+        t, w, o, p = 100, 25, 10.0, 0.01
+        support, pmf = job_time_distribution(t, w, o, p)
+        assert expected_job_time(t, w, o, p) == pytest.approx(float(np.dot(support, pmf)))
+
+    def test_interpolation_between_integers(self):
+        low = expected_job_time(100, 10, 10.0, 0.02)
+        high = expected_job_time(101, 10, 10.0, 0.02)
+        mid = expected_job_time(100.5, 10, 10.0, 0.02)
+        assert min(low, high) <= mid <= max(low, high)
+        assert mid == pytest.approx(0.5 * (low + high), rel=1e-9)
+
+    def test_interpolation_disabled_raises(self):
+        with pytest.raises(ValueError):
+            expected_job_time(100.5, 10, 10.0, 0.02, interpolate=False)
+
+    def test_matches_monte_carlo(self, rng):
+        t, w, o, p = 100, 20, 10.0, 0.02
+        analytic = expected_job_time(t, w, o, p)
+        samples = t + o * rng.binomial(t, p, size=(20000, w)).max(axis=1)
+        assert analytic == pytest.approx(samples.mean(), rel=0.01)
+
+    def test_invalid_workstations(self):
+        with pytest.raises(ValueError):
+            expected_job_time(100, 0, 10.0, 0.1)
+
+
+class TestJobTimeDistribution:
+    def test_pmf_properties(self):
+        support, pmf = job_time_distribution(50, 10, 10.0, 0.05)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+        assert support[0] == 50.0
+
+    def test_more_workstations_shift_mass_right(self):
+        _, pmf_small = job_time_distribution(50, 2, 10.0, 0.05)
+        _, pmf_large = job_time_distribution(50, 50, 10.0, 0.05)
+        # CDF of the larger system is dominated by the smaller system's CDF.
+        assert np.all(np.cumsum(pmf_large) <= np.cumsum(pmf_small) + 1e-12)
+
+
+class TestJobTimeQuantile:
+    def test_median_near_mean_for_symmetric_case(self):
+        q50 = job_time_quantile(100, 10, 10.0, 0.05, 0.5)
+        mean = expected_job_time(100, 10, 10.0, 0.05)
+        assert abs(q50 - mean) < 20.0
+
+    def test_quantiles_monotone(self):
+        q10 = job_time_quantile(100, 10, 10.0, 0.05, 0.10)
+        q90 = job_time_quantile(100, 10, 10.0, 0.05, 0.90)
+        q99 = job_time_quantile(100, 10, 10.0, 0.05, 0.99)
+        assert q10 <= q90 <= q99
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            job_time_quantile(100, 10, 10.0, 0.05, 0.0)
+
+
+class TestEvaluate:
+    def test_evaluation_fields(self, paper_job, paper_owner):
+        system = SystemSpec(workstations=10, owner=paper_owner)
+        evaluation = evaluate(paper_job, system)
+        assert evaluation.job_demand == 1000.0
+        assert evaluation.task_demand == pytest.approx(100.0)
+        assert evaluation.workstations == 10
+        assert evaluation.utilization == pytest.approx(0.1)
+        assert evaluation.task_ratio == pytest.approx(10.0)
+        assert evaluation.expected_job_time >= evaluation.expected_task_time
+        assert evaluation.interference_overhead >= 0.0
+        assert evaluation.mean_interruptions_per_task == pytest.approx(
+            100.0 * paper_owner.request_probability
+        )
+
+    def test_evaluate_inputs_consistency(self, paper_owner):
+        inputs = ModelInputs(
+            task_demand=100.0,
+            workstations=10,
+            owner_demand=10.0,
+            request_probability=paper_owner.request_probability,
+        )
+        direct = evaluate_inputs(inputs)
+        via_specs = evaluate(
+            JobSpec(1000.0, rounding=TaskRounding.ROUND),
+            SystemSpec(workstations=10, owner=paper_owner),
+        )
+        assert direct.expected_job_time == pytest.approx(via_specs.expected_job_time)
+
+    def test_interpolated_evaluation_smooth(self, light_owner):
+        # Sweeping W with interpolation should produce a smooth (monotone
+        # decreasing) job-time curve even where J/W crosses integers.
+        job = JobSpec(total_demand=1000.0, rounding=TaskRounding.INTERPOLATE)
+        times = [
+            evaluate(job, SystemSpec(workstations=w, owner=light_owner)).expected_job_time
+            for w in range(1, 60)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_dedicated_system_ideal(self, idle_owner):
+        job = JobSpec(total_demand=1000.0)
+        evaluation = evaluate(job, SystemSpec(workstations=10, owner=idle_owner))
+        assert evaluation.expected_job_time == pytest.approx(100.0)
+        assert evaluation.expected_task_time == pytest.approx(100.0)
+
+
+class TestSweeps:
+    def test_sweep_workstations_length_and_order(self, paper_job, paper_owner):
+        counts = [1, 5, 10, 50]
+        results = sweep_workstations(paper_job, paper_owner, counts)
+        assert [r.workstations for r in results] == counts
+
+    def test_sweep_utilizations(self, paper_job, paper_owner):
+        system = SystemSpec(workstations=10, owner=paper_owner)
+        results = sweep_utilizations(paper_job, system, [0.0, 0.05, 0.2])
+        utils = [r.utilization for r in results]
+        assert utils == pytest.approx([0.0, 0.05, 0.2])
+        times = [r.expected_job_time for r in results]
+        assert times[0] <= times[1] <= times[2]

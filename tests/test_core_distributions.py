@@ -1,0 +1,192 @@
+"""Tests for repro.core.distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.distributions import (
+    Binomial,
+    Deterministic,
+    Geometric,
+    binomial_cdf,
+    binomial_mean,
+    binomial_pmf,
+    binomial_variance,
+    max_of_iid_cdf,
+    max_of_iid_mean,
+    max_of_iid_pmf,
+    pmf_mean,
+    pmf_variance,
+)
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        for n, p in [(1, 0.5), (10, 0.1), (100, 0.01), (1000, 0.001), (5000, 0.02)]:
+            pmf = binomial_pmf(n, p)
+            assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+            assert pmf.shape == (n + 1,)
+
+    def test_matches_scipy(self):
+        n, p = 50, 0.07
+        expected = sps.binom.pmf(np.arange(n + 1), n, p)
+        np.testing.assert_allclose(binomial_pmf(n, p), expected, rtol=1e-10)
+
+    def test_small_case_exact(self):
+        np.testing.assert_allclose(binomial_pmf(2, 0.5), [0.25, 0.5, 0.25])
+
+    def test_zero_trials(self):
+        np.testing.assert_allclose(binomial_pmf(0, 0.3), [1.0])
+
+    def test_degenerate_probabilities(self):
+        pmf0 = binomial_pmf(5, 0.0)
+        assert pmf0[0] == 1.0 and pmf0[1:].sum() == 0.0
+        pmf1 = binomial_pmf(5, 1.0)
+        assert pmf1[-1] == 1.0 and pmf1[:-1].sum() == 0.0
+
+    def test_large_trials_no_overflow(self):
+        pmf = binomial_pmf(100_000, 0.0001)
+        assert np.all(np.isfinite(pmf))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(-1, 0.5)
+        with pytest.raises(ValueError):
+            binomial_pmf(10, 1.5)
+
+
+class TestBinomialCdf:
+    def test_monotone_and_ends_at_one(self):
+        cdf = binomial_cdf(100, 0.05)
+        assert np.all(np.diff(cdf) >= -1e-15)
+        assert cdf[-1] == 1.0
+        assert np.all((cdf >= 0) & (cdf <= 1))
+
+    def test_matches_scipy(self):
+        n, p = 30, 0.2
+        expected = sps.binom.cdf(np.arange(n + 1), n, p)
+        np.testing.assert_allclose(binomial_cdf(n, p), expected, rtol=1e-9)
+
+
+class TestBinomialMoments:
+    def test_mean_and_variance(self):
+        assert binomial_mean(100, 0.05) == pytest.approx(5.0)
+        assert binomial_variance(100, 0.05) == pytest.approx(100 * 0.05 * 0.95)
+
+    def test_zero_probability(self):
+        assert binomial_mean(100, 0.0) == 0.0
+        assert binomial_variance(100, 0.0) == 0.0
+
+
+class TestMaxOfIid:
+    def test_single_copy_is_identity(self):
+        cdf = binomial_cdf(20, 0.1)
+        np.testing.assert_allclose(max_of_iid_cdf(cdf, 1), cdf)
+
+    def test_pmf_sums_to_one(self):
+        cdf = binomial_cdf(50, 0.05)
+        for w in (1, 2, 10, 100, 1000):
+            pmf = max_of_iid_pmf(cdf, w)
+            assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_increases_with_count(self):
+        cdf = binomial_cdf(100, 0.05)
+        means = [max_of_iid_mean(cdf, w) for w in (1, 2, 10, 50, 200)]
+        assert all(b >= a for a, b in zip(means, means[1:]))
+
+    def test_mean_of_single_matches_binomial_mean(self):
+        cdf = binomial_cdf(200, 0.03)
+        assert max_of_iid_mean(cdf, 1) == pytest.approx(200 * 0.03, rel=1e-9)
+
+    def test_matches_monte_carlo(self, rng):
+        n, p, w = 100, 0.05, 20
+        cdf = binomial_cdf(n, p)
+        analytic = max_of_iid_mean(cdf, w)
+        samples = rng.binomial(n, p, size=(20000, w)).max(axis=1)
+        assert analytic == pytest.approx(samples.mean(), rel=0.02)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            max_of_iid_cdf(binomial_cdf(10, 0.1), 0)
+
+
+class TestBinomialObject:
+    def test_properties(self):
+        b = Binomial(trials=100, prob=0.1)
+        assert b.mean == pytest.approx(10.0)
+        assert b.variance == pytest.approx(9.0)
+        assert b.pmf().sum() == pytest.approx(1.0)
+
+    def test_sampling_mean(self, rng):
+        b = Binomial(trials=50, prob=0.2)
+        samples = b.sample(rng, size=20000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_max_helpers(self):
+        b = Binomial(trials=20, prob=0.1)
+        assert b.max_pmf(5).sum() == pytest.approx(1.0)
+        assert b.max_mean(5) >= b.mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Binomial(trials=-1, prob=0.5)
+        with pytest.raises(ValueError):
+            Binomial(trials=5, prob=2.0)
+
+
+class TestGeometric:
+    def test_mean_and_variance(self):
+        g = Geometric(prob=0.1)
+        assert g.mean == pytest.approx(10.0)
+        assert g.variance == pytest.approx(0.9 / 0.01)
+
+    def test_zero_probability_infinite_mean(self):
+        g = Geometric(prob=0.0)
+        assert g.mean == float("inf")
+        with pytest.raises(ValueError):
+            g.sample(np.random.default_rng(0))
+
+    def test_pmf_values(self):
+        g = Geometric(prob=0.25)
+        assert g.pmf(1) == pytest.approx(0.25)
+        assert g.pmf(2) == pytest.approx(0.75 * 0.25)
+        assert g.pmf(0) == 0.0
+
+    def test_sample_mean(self, rng):
+        g = Geometric(prob=0.05)
+        samples = g.sample(rng, size=50000)
+        assert samples.mean() == pytest.approx(20.0, rel=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Geometric(prob=1.5)
+
+
+class TestDeterministic:
+    def test_moments(self):
+        d = Deterministic(value=10.0)
+        assert d.mean == 10.0
+        assert d.variance == 0.0
+
+    def test_sample_is_constant(self, rng):
+        d = Deterministic(value=3.0)
+        assert np.all(d.sample(rng, size=10) == 3.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(value=-1.0)
+
+
+class TestPmfHelpers:
+    def test_pmf_mean_variance(self):
+        support = [0, 1, 2]
+        pmf = [0.25, 0.5, 0.25]
+        assert pmf_mean(support, pmf) == pytest.approx(1.0)
+        assert pmf_variance(support, pmf) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pmf_mean([0, 1], [1.0])

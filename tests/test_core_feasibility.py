@@ -1,0 +1,153 @@
+"""Tests for repro.core.feasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    JobSpec,
+    OwnerSpec,
+    SystemSpec,
+    assess_feasibility,
+    feasibility_frontier,
+    minimum_task_ratio,
+    required_job_demand,
+    weighted_efficiency_at_task_ratio,
+)
+
+
+class TestWeightedEfficiencyAtTaskRatio:
+    def test_monotone_in_ratio(self, paper_owner):
+        values = [
+            weighted_efficiency_at_task_ratio(r, 60, paper_owner)
+            for r in (1, 2, 5, 10, 20, 50)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_decreases_with_system_size(self, paper_owner):
+        small = weighted_efficiency_at_task_ratio(10, 4, paper_owner)
+        large = weighted_efficiency_at_task_ratio(10, 100, paper_owner)
+        assert large < small
+
+    def test_decreases_with_utilization(self):
+        low = weighted_efficiency_at_task_ratio(
+            10, 60, OwnerSpec(demand=10, utilization=0.01)
+        )
+        high = weighted_efficiency_at_task_ratio(
+            10, 60, OwnerSpec(demand=10, utilization=0.2)
+        )
+        assert high < low
+
+    def test_invalid_ratio(self, paper_owner):
+        with pytest.raises(ValueError):
+            weighted_efficiency_at_task_ratio(0, 60, paper_owner)
+
+
+class TestMinimumTaskRatio:
+    def test_threshold_achieves_target(self, paper_owner):
+        ratio = minimum_task_ratio(60, paper_owner, 0.80)
+        assert weighted_efficiency_at_task_ratio(ratio, 60, paper_owner) >= 0.80
+
+    def test_threshold_is_minimal(self, paper_owner):
+        ratio = minimum_task_ratio(60, paper_owner, 0.80)
+        if ratio > 1:
+            assert (
+                weighted_efficiency_at_task_ratio(ratio - 1, 60, paper_owner) < 0.80
+            )
+
+    def test_fractional_threshold_close_to_integer(self, paper_owner):
+        integer = minimum_task_ratio(60, paper_owner, 0.80, integer=True)
+        fractional = minimum_task_ratio(60, paper_owner, 0.80, integer=False)
+        assert fractional <= integer
+        assert integer - fractional <= 1.0
+
+    def test_threshold_increases_with_utilization(self):
+        ratios = [
+            minimum_task_ratio(60, OwnerSpec(demand=10, utilization=u), 0.80)
+            for u in (0.05, 0.10, 0.20)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_threshold_increases_with_system_size(self, paper_owner):
+        small = minimum_task_ratio(4, paper_owner, 0.80)
+        large = minimum_task_ratio(100, paper_owner, 0.80)
+        assert large >= small
+
+    def test_idle_owner_needs_ratio_one(self):
+        idle = OwnerSpec(demand=10, utilization=0.0)
+        assert minimum_task_ratio(60, idle, 0.80) == 1.0
+
+    def test_invalid_target(self, paper_owner):
+        with pytest.raises(ValueError):
+            minimum_task_ratio(60, paper_owner, 1.0)
+        with pytest.raises(ValueError):
+            minimum_task_ratio(60, paper_owner, 0.0)
+
+    def test_demanding_target_needs_very_large_ratio(self):
+        # Weighted efficiency converges to 1 as the task ratio grows, so even
+        # demanding targets are eventually reachable — but the required ratio
+        # explodes with a heavy owner load.
+        heavy = OwnerSpec(demand=10, utilization=0.9)
+        moderate_ratio = minimum_task_ratio(100, heavy, 0.80)
+        demanding_ratio = minimum_task_ratio(100, heavy, 0.99)
+        assert demanding_ratio > moderate_ratio
+        assert demanding_ratio > 100
+        assert (
+            weighted_efficiency_at_task_ratio(demanding_ratio, 100, heavy) >= 0.99
+        )
+
+
+class TestFeasibilityFrontier:
+    def test_paper_section5_shape(self):
+        frontier = feasibility_frontier([0.05, 0.10, 0.20], workstations=60)
+        # Paper: >= 8 at 5%, >= 13 at 10%, >= 20 at 20% (read off Figure 7).
+        assert frontier[0.05] == pytest.approx(8.0, abs=1.0)
+        assert frontier[0.10] == pytest.approx(13.0, abs=2.0)
+        assert frontier[0.20] == pytest.approx(20.0, abs=3.0)
+        assert frontier[0.05] < frontier[0.10] < frontier[0.20]
+
+    def test_custom_target(self):
+        frontier_strict = feasibility_frontier([0.1], workstations=60, target_weighted_efficiency=0.9)
+        frontier_loose = feasibility_frontier([0.1], workstations=60, target_weighted_efficiency=0.6)
+        assert frontier_strict[0.1] > frontier_loose[0.1]
+
+
+class TestRequiredJobDemand:
+    def test_scales_with_workstations(self, paper_owner):
+        small = required_job_demand(10, paper_owner)
+        large = required_job_demand(100, paper_owner)
+        assert large > small
+
+    def test_consistent_with_ratio(self, paper_owner):
+        demand = required_job_demand(60, paper_owner, 0.80)
+        ratio = minimum_task_ratio(60, paper_owner, 0.80, integer=False)
+        assert demand == pytest.approx(ratio * paper_owner.demand * 60)
+
+
+class TestAssessFeasibility:
+    def test_feasible_large_job(self, paper_owner):
+        job = JobSpec(total_demand=60 * 10 * 50)  # task ratio 50
+        system = SystemSpec(workstations=60, owner=paper_owner)
+        report = assess_feasibility(job, system)
+        assert report.feasible
+        assert report.task_ratio == pytest.approx(50.0)
+        assert report.weighted_efficiency >= 0.8
+        assert report.headroom > 0
+        assert "FEASIBLE" in report.summary()
+
+    def test_infeasible_small_job(self, paper_owner):
+        job = JobSpec(total_demand=60 * 10 * 2)  # task ratio 2
+        system = SystemSpec(workstations=60, owner=paper_owner)
+        report = assess_feasibility(job, system)
+        assert not report.feasible
+        assert report.headroom < 0
+        assert "NOT FEASIBLE" in report.summary()
+
+    def test_report_fields(self, paper_owner):
+        job = JobSpec(total_demand=6000)
+        system = SystemSpec(workstations=60, owner=paper_owner)
+        report = assess_feasibility(job, system)
+        assert report.workstations == 60
+        assert report.owner_demand == 10.0
+        assert report.dedicated_job_time == pytest.approx(report.task_demand)
+        assert report.expected_job_time >= report.dedicated_job_time

@@ -1,0 +1,174 @@
+"""Tests for the heterogeneous-cluster extension and the job-time tail utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HeterogeneousSystem,
+    OwnerSpec,
+    concentration_comparison,
+    evaluate_heterogeneous,
+    expected_job_time,
+    expected_job_time_heterogeneous,
+    heterogeneous_job_time_distribution,
+    job_time_distribution,
+    job_time_quantile,
+    job_time_survival,
+    job_time_variance,
+)
+
+
+class TestHeterogeneousSystem:
+    def test_homogeneous_constructor(self, paper_owner):
+        system = HeterogeneousSystem.homogeneous(10, paper_owner)
+        assert system.workstations == 10
+        assert system.mean_utilization == pytest.approx(0.1)
+        assert system.utilization_spread == pytest.approx(0.0)
+
+    def test_from_utilizations(self):
+        system = HeterogeneousSystem.from_utilizations([0.0, 0.1, 0.2])
+        assert system.workstations == 3
+        assert system.mean_utilization == pytest.approx(0.1)
+        assert system.max_utilization == pytest.approx(0.2)
+        assert system.utilization_spread > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousSystem(owners=())
+        with pytest.raises(ValueError):
+            HeterogeneousSystem.homogeneous(0, OwnerSpec(demand=10, utilization=0.1))
+
+
+class TestHeterogeneousDistribution:
+    def test_reduces_to_homogeneous_case(self, paper_owner):
+        system = HeterogeneousSystem.homogeneous(12, paper_owner)
+        support_h, pmf_h = heterogeneous_job_time_distribution(100, system)
+        support, pmf = job_time_distribution(
+            100, 12, paper_owner.demand, paper_owner.request_probability
+        )
+        np.testing.assert_allclose(support_h, support)
+        np.testing.assert_allclose(pmf_h, pmf, atol=1e-12)
+
+    def test_pmf_is_distribution(self):
+        system = HeterogeneousSystem.from_utilizations([0.0, 0.05, 0.1, 0.3])
+        support, pmf = heterogeneous_job_time_distribution(80, system)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(pmf >= 0)
+        assert support[0] == 80.0
+
+    def test_mixed_owner_demands_rejected(self):
+        system = HeterogeneousSystem(
+            owners=(
+                OwnerSpec(demand=10, utilization=0.1),
+                OwnerSpec(demand=5, utilization=0.1),
+            )
+        )
+        with pytest.raises(ValueError):
+            heterogeneous_job_time_distribution(50, system)
+
+    def test_invalid_task_demand(self, paper_owner):
+        system = HeterogeneousSystem.homogeneous(2, paper_owner)
+        with pytest.raises(ValueError):
+            heterogeneous_job_time_distribution(0, system)
+        with pytest.raises(ValueError):
+            heterogeneous_job_time_distribution(10.5, system)
+
+
+class TestHeterogeneousExpectation:
+    def test_matches_homogeneous_api(self, paper_owner):
+        system = HeterogeneousSystem.homogeneous(20, paper_owner)
+        hetero = expected_job_time_heterogeneous(100, system)
+        homo = expected_job_time(
+            100, 20, paper_owner.demand, paper_owner.request_probability
+        )
+        assert hetero == pytest.approx(homo, rel=1e-9)
+
+    def test_dominated_by_busiest_machine(self):
+        # A cluster with one busy machine is slower than an all-idle cluster
+        # but faster than a cluster where every machine is that busy.
+        idle = HeterogeneousSystem.from_utilizations([0.0] * 8)
+        one_busy = HeterogeneousSystem.from_utilizations([0.3] + [0.0] * 7)
+        all_busy = HeterogeneousSystem.from_utilizations([0.3] * 8)
+        t_idle = expected_job_time_heterogeneous(100, idle)
+        t_one = expected_job_time_heterogeneous(100, one_busy)
+        t_all = expected_job_time_heterogeneous(100, all_busy)
+        assert t_idle < t_one < t_all
+        assert t_idle == pytest.approx(100.0)
+
+    def test_fractional_task_demand_interpolated(self, paper_owner):
+        system = HeterogeneousSystem.homogeneous(5, paper_owner)
+        low = expected_job_time_heterogeneous(100, system)
+        high = expected_job_time_heterogeneous(101, system)
+        mid = expected_job_time_heterogeneous(100.5, system)
+        assert low <= mid <= high
+
+    def test_invalid_demand(self, paper_owner):
+        system = HeterogeneousSystem.homogeneous(2, paper_owner)
+        with pytest.raises(ValueError):
+            expected_job_time_heterogeneous(0, system)
+
+
+class TestEvaluateHeterogeneous:
+    def test_fields_and_bottleneck(self):
+        system = HeterogeneousSystem.from_utilizations([0.0, 0.0, 0.25, 0.05])
+        evaluation = evaluate_heterogeneous(400, system)
+        assert evaluation.workstations == 4
+        assert evaluation.task_demand == pytest.approx(100.0)
+        assert evaluation.bottleneck_workstation == 2
+        assert evaluation.mean_utilization == pytest.approx(0.075)
+        assert 0 < evaluation.weighted_efficiency <= 1.0
+        assert evaluation.expected_job_time >= max(evaluation.expected_task_times)
+
+    def test_spread_hurts_at_equal_mean(self):
+        even = HeterogeneousSystem.from_utilizations([0.1] * 10)
+        skewed = HeterogeneousSystem.from_utilizations([0.2] * 5 + [0.0] * 5)
+        t_even = evaluate_heterogeneous(1000, even).expected_job_time
+        t_skewed = evaluate_heterogeneous(1000, skewed).expected_job_time
+        assert t_skewed > t_even
+
+
+class TestConcentrationComparison:
+    def test_monotone_in_concentration(self):
+        results = concentration_comparison(6000, 60, 0.1, (0.0, 0.5, 1.0))
+        times = [results[level].expected_job_time for level in (0.0, 0.5, 1.0)]
+        assert times[0] < times[1] < times[2]
+        # Average utilization is preserved at every level.
+        for level in (0.0, 0.5, 1.0):
+            assert results[level].mean_utilization == pytest.approx(0.1, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concentration_comparison(100, 1, 0.1)
+        with pytest.raises(ValueError):
+            concentration_comparison(100, 10, 0.6)
+        with pytest.raises(ValueError):
+            concentration_comparison(100, 10, 0.1, (2.0,))
+
+
+class TestJobTimeTailUtilities:
+    def test_variance_zero_without_interference(self):
+        assert job_time_variance(100, 10, 10.0, 0.0) == pytest.approx(0.0)
+
+    def test_variance_positive_with_interference(self):
+        assert job_time_variance(100, 10, 10.0, 0.02) > 0.0
+
+    def test_variance_matches_monte_carlo(self, rng):
+        t, w, o, p = 100, 10, 10.0, 0.02
+        analytic = job_time_variance(t, w, o, p)
+        samples = t + o * rng.binomial(t, p, size=(40000, w)).max(axis=1)
+        assert analytic == pytest.approx(float(samples.var()), rel=0.1)
+
+    def test_survival_boundaries(self):
+        assert job_time_survival(100, 10, 10.0, 0.02, 99.0) == pytest.approx(1.0)
+        assert job_time_survival(100, 10, 10.0, 0.02, 100 + 100 * 10.0) == pytest.approx(0.0)
+
+    def test_survival_monotone_in_deadline(self):
+        deadlines = [100, 110, 130, 200, 400]
+        values = [job_time_survival(100, 10, 10.0, 0.02, d) for d in deadlines]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_survival_consistent_with_quantile(self):
+        q90 = job_time_quantile(100, 10, 10.0, 0.02, 0.90)
+        assert job_time_survival(100, 10, 10.0, 0.02, q90) <= 0.10 + 1e-9

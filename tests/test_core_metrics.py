@@ -1,0 +1,130 @@
+"""Tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JobSpec,
+    OwnerSpec,
+    SystemSpec,
+    compute_metrics,
+    efficiency,
+    evaluate,
+    metrics_table,
+    speedup,
+    task_ratio,
+    weighted_efficiency,
+    weighted_speedup,
+)
+from repro.core.metrics import MetricSet, series, slowdown
+
+
+class TestBasicMetrics:
+    def test_speedup(self):
+        assert speedup(1000.0, 100.0) == pytest.approx(10.0)
+
+    def test_weighted_speedup_reduces_to_speedup_when_idle(self):
+        assert weighted_speedup(1000.0, 100.0, 0.0) == pytest.approx(
+            speedup(1000.0, 100.0)
+        )
+
+    def test_weighted_speedup_larger_than_speedup(self):
+        assert weighted_speedup(1000.0, 100.0, 0.2) > speedup(1000.0, 100.0)
+
+    def test_weighted_speedup_formula(self):
+        assert weighted_speedup(1000.0, 125.0, 0.2) == pytest.approx(
+            1000.0 / (0.8 * 125.0)
+        )
+
+    def test_efficiency(self):
+        assert efficiency(1000.0, 200.0, 10) == pytest.approx(0.5)
+
+    def test_weighted_efficiency(self):
+        assert weighted_efficiency(1000.0, 125.0, 10, 0.2) == pytest.approx(
+            1000.0 / (0.8 * 125.0 * 10)
+        )
+
+    def test_task_ratio(self):
+        assert task_ratio(100.0, 10.0) == pytest.approx(10.0)
+
+    def test_slowdown(self):
+        assert slowdown(150.0, 100.0) == pytest.approx(1.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 10.0)
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+        with pytest.raises(ValueError):
+            weighted_speedup(10.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency(10.0, 10.0, 0)
+        with pytest.raises(ValueError):
+            task_ratio(0.0, 10.0)
+
+
+class TestComputeMetrics:
+    def test_consistency_between_metrics(self, paper_job, paper_owner):
+        system = SystemSpec(workstations=20, owner=paper_owner)
+        m = compute_metrics(evaluate(paper_job, system))
+        assert m.efficiency == pytest.approx(m.speedup / 20)
+        assert m.weighted_efficiency == pytest.approx(m.weighted_speedup / 20)
+        assert m.weighted_speedup == pytest.approx(m.speedup / (1 - m.utilization))
+        assert m.task_ratio == pytest.approx(m.task_demand / m.owner_demand)
+        assert m.slowdown == pytest.approx(m.expected_job_time / m.task_demand)
+
+    def test_efficiency_bounded_by_one_for_dedicated(self, idle_owner):
+        job = JobSpec(total_demand=1000.0)
+        for w in (1, 4, 10, 100):
+            m = compute_metrics(evaluate(job, SystemSpec(workstations=w, owner=idle_owner)))
+            assert m.efficiency == pytest.approx(1.0)
+            assert m.weighted_efficiency == pytest.approx(1.0)
+
+    def test_weighted_efficiency_below_one_under_interference(self, paper_owner):
+        job = JobSpec(total_demand=1000.0)
+        m = compute_metrics(evaluate(job, SystemSpec(workstations=50, owner=paper_owner)))
+        assert 0.0 < m.weighted_efficiency < 1.0
+
+    def test_as_dict_roundtrip(self, paper_job, paper_owner):
+        system = SystemSpec(workstations=10, owner=paper_owner)
+        m = compute_metrics(evaluate(paper_job, system))
+        d = m.as_dict()
+        assert d["workstations"] == 10
+        assert d["speedup"] == pytest.approx(m.speedup)
+        assert set(d) >= {
+            "task_ratio",
+            "weighted_efficiency",
+            "expected_job_time",
+            "slowdown",
+        }
+
+
+class TestMetricsTable:
+    def test_table_length(self, paper_job, paper_owner):
+        from repro.core import sweep_workstations
+
+        evaluations = sweep_workstations(paper_job, paper_owner, [1, 10, 100])
+        rows = metrics_table(evaluations)
+        assert len(rows) == 3
+        assert all(isinstance(r, MetricSet) for r in rows)
+
+    def test_series_extraction(self, paper_job, paper_owner):
+        from repro.core import sweep_workstations
+
+        evaluations = sweep_workstations(paper_job, paper_owner, [1, 10, 100])
+        rows = metrics_table(evaluations)
+        values = series(rows, "speedup")
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+    def test_series_unknown_field(self, paper_job, paper_owner):
+        from repro.core import sweep_workstations
+
+        rows = metrics_table(sweep_workstations(paper_job, paper_owner, [1, 2]))
+        with pytest.raises(KeyError):
+            series(rows, "nonexistent")
+
+    def test_series_empty(self):
+        assert series([], "speedup").size == 0

@@ -1,0 +1,114 @@
+"""Tests for repro.core.scaling (memory-bounded scaleup, Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    OwnerSpec,
+    fixed_vs_scaled_comparison,
+    response_time_inflation,
+    scaled_job_time,
+    scaled_speedup,
+    scaled_sweep,
+)
+
+
+class TestScaledJobTime:
+    def test_single_node_equals_task_expectation(self, paper_owner):
+        from repro.core import expected_task_time
+
+        assert scaled_job_time(100.0, 1, paper_owner) == pytest.approx(
+            expected_task_time(100, paper_owner.demand, paper_owner.request_probability)
+        )
+
+    def test_increases_with_system_size(self, paper_owner):
+        times = [scaled_job_time(100.0, w, paper_owner) for w in (1, 10, 50, 100)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_dedicated_constant(self, idle_owner):
+        assert scaled_job_time(100.0, 100, idle_owner) == pytest.approx(100.0)
+
+    def test_invalid_demand(self, paper_owner):
+        with pytest.raises(ValueError):
+            scaled_job_time(0.0, 10, paper_owner)
+
+
+class TestResponseTimeInflation:
+    def test_dedicated_baseline_matches_paper(self):
+        # Paper Section 3.2 / 5: 14, 30, 44, 71 % at W = 100 for U = 1/5/10/20 %.
+        expected = {0.01: 0.14, 0.05: 0.30, 0.10: 0.44, 0.20: 0.71}
+        for utilization, target in expected.items():
+            owner = OwnerSpec(demand=10, utilization=utilization)
+            inflation = response_time_inflation(100.0, 100, owner)
+            assert inflation == pytest.approx(target, abs=0.02)
+
+    def test_loaded_baseline_smaller_than_dedicated(self, paper_owner):
+        dedicated = response_time_inflation(100.0, 100, paper_owner, baseline="dedicated")
+        loaded = response_time_inflation(100.0, 100, paper_owner, baseline="loaded")
+        assert loaded < dedicated
+
+    def test_zero_for_single_node_loaded_baseline(self, paper_owner):
+        assert response_time_inflation(100.0, 1, paper_owner, baseline="loaded") == pytest.approx(0.0)
+
+    def test_unknown_baseline(self, paper_owner):
+        with pytest.raises(ValueError):
+            response_time_inflation(100.0, 10, paper_owner, baseline="bogus")
+
+    def test_increases_with_utilization(self):
+        values = [
+            response_time_inflation(100.0, 100, OwnerSpec(demand=10, utilization=u))
+            for u in (0.01, 0.05, 0.1, 0.2)
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_larger_per_node_demand_inflates_less_relative(self):
+        owner = OwnerSpec(demand=10, utilization=0.1)
+        small = response_time_inflation(100.0, 100, owner, baseline="loaded")
+        large = response_time_inflation(1000.0, 100, owner, baseline="loaded")
+        assert large < small
+
+
+class TestScaledSpeedup:
+    def test_perfect_for_dedicated(self, idle_owner):
+        assert scaled_speedup(100.0, 64, idle_owner) == pytest.approx(64.0)
+
+    def test_less_than_linear_under_interference(self, paper_owner):
+        assert scaled_speedup(100.0, 64, paper_owner) < 64.0
+
+    def test_single_node_speedup_is_one(self, paper_owner):
+        assert scaled_speedup(100.0, 1, paper_owner) == pytest.approx(1.0)
+
+
+class TestScaledSweep:
+    def test_constant_task_demand(self, paper_owner):
+        results = scaled_sweep(100.0, [1, 10, 100], paper_owner)
+        assert all(r.task_demand == pytest.approx(100.0) for r in results)
+        assert [r.workstations for r in results] == [1, 10, 100]
+
+    def test_constant_task_ratio(self, paper_owner):
+        results = scaled_sweep(100.0, [2, 20, 80], paper_owner)
+        assert all(r.task_ratio == pytest.approx(10.0) for r in results)
+
+
+class TestFixedVsScaledComparison:
+    def test_scaled_task_ratio_constant_fixed_decreasing(self, paper_owner):
+        rows = fixed_vs_scaled_comparison(1000.0, 100.0, [1, 10, 50, 100], paper_owner)
+        scaled_ratios = [r.scaled_task_ratio for r in rows]
+        fixed_ratios = [r.fixed_task_ratio for r in rows]
+        assert all(r == pytest.approx(10.0) for r in scaled_ratios)
+        assert all(b <= a for a, b in zip(fixed_ratios, fixed_ratios[1:]))
+
+    def test_fixed_efficiency_degrades_faster(self, paper_owner):
+        rows = fixed_vs_scaled_comparison(1000.0, 100.0, [1, 100], paper_owner)
+        first, last = rows[0], rows[-1]
+        # At 100 workstations the fixed-size job's weighted efficiency has
+        # collapsed while the scaled job's inflation stays moderate.
+        assert last.fixed_weighted_efficiency < first.fixed_weighted_efficiency
+        assert last.scaled_inflation < 1.0
+
+    def test_row_dict(self, paper_owner):
+        rows = fixed_vs_scaled_comparison(1000.0, 100.0, [5], paper_owner)
+        d = rows[0].as_dict()
+        assert d["workstations"] == 5.0
+        assert "scaled_inflation" in d and "fixed_job_time" in d

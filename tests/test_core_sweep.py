@@ -1,0 +1,92 @@
+"""Tests for repro.core.sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SweepGrid, group_rows, pivot_series, run_sweep
+
+
+@pytest.fixture
+def small_grid() -> SweepGrid:
+    return SweepGrid(
+        job_demands=(1000.0,),
+        workstation_counts=(1, 10, 50),
+        utilizations=(0.01, 0.1),
+        owner_demands=(10.0,),
+    )
+
+
+class TestSweepGrid:
+    def test_length(self, small_grid):
+        assert len(small_grid) == 1 * 3 * 2 * 1
+
+    def test_points_enumeration(self, small_grid):
+        points = list(small_grid.points())
+        assert len(points) == len(small_grid)
+        assert points[0] == (1000.0, 1, 0.01, 10.0)
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(job_demands=(), workstation_counts=(1,), utilizations=(0.1,))
+
+
+class TestRunSweep:
+    def test_row_count_and_contents(self, small_grid):
+        rows = run_sweep(small_grid)
+        assert len(rows) == len(small_grid)
+        first = rows[0]
+        assert first.job_demand == 1000.0
+        assert first.metrics.workstations == first.workstations
+        assert first.value("speedup") == pytest.approx(first.metrics.speedup)
+
+    def test_metrics_consistent_with_direct_evaluation(self, small_grid):
+        from repro.core import JobSpec, OwnerSpec, SystemSpec, TaskRounding, compute_metrics, evaluate
+
+        rows = run_sweep(small_grid)
+        row = rows[-1]
+        job = JobSpec(row.job_demand, rounding=TaskRounding.INTERPOLATE)
+        owner = OwnerSpec(demand=row.owner_demand, utilization=row.utilization)
+        direct = compute_metrics(evaluate(job, SystemSpec(row.workstations, owner)))
+        assert row.metrics.expected_job_time == pytest.approx(direct.expected_job_time)
+
+
+class TestGrouping:
+    def test_group_by_utilization(self, small_grid):
+        rows = run_sweep(small_grid)
+        groups = group_rows(rows, "utilization")
+        assert set(groups) == {0.01, 0.1}
+        assert all(len(g) == 3 for g in groups.values())
+
+    def test_group_by_invalid_key(self, small_grid):
+        rows = run_sweep(small_grid)
+        with pytest.raises(KeyError):
+            group_rows(rows, "speedup")
+
+
+class TestPivot:
+    def test_pivot_series_shapes(self, small_grid):
+        rows = run_sweep(small_grid)
+        series = pivot_series(rows, x="workstations", y="speedup", curve="utilization")
+        assert set(series) == {0.01, 0.1}
+        xs, ys = series[0.01]
+        np.testing.assert_allclose(xs, [1, 10, 50])
+        assert ys.shape == (3,)
+
+    def test_pivot_sorted_by_x(self):
+        grid = SweepGrid(
+            job_demands=(1000.0,),
+            workstation_counts=(50, 1, 10),
+            utilizations=(0.1,),
+        )
+        rows = run_sweep(grid)
+        series = pivot_series(rows, x="workstations", y="efficiency", curve="utilization")
+        xs, _ = series[0.1]
+        assert list(xs) == [1.0, 10.0, 50.0]
+
+    def test_pivot_metric_on_x_axis(self, small_grid):
+        rows = run_sweep(small_grid)
+        series = pivot_series(rows, x="task_ratio", y="weighted_efficiency", curve="utilization")
+        xs, ys = series[0.1]
+        assert xs.shape == ys.shape

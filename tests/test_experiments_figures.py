@@ -1,0 +1,162 @@
+"""Tests for the figure runners (analytic figures 1-9 and conclusions tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FigureResult,
+    run_conclusions_scaled,
+    run_conclusions_thresholds,
+    run_fig01,
+    run_fig02,
+    run_fig03,
+    run_fig04,
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+)
+
+#: Sparse workstation grid so the figure tests stay fast.
+FAST_W = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+
+
+@pytest.fixture(scope="module")
+def fig01() -> FigureResult:
+    return run_fig01(workstation_counts=FAST_W)
+
+
+@pytest.fixture(scope="module")
+def fig04() -> FigureResult:
+    return run_fig04(workstation_counts=FAST_W)
+
+
+class TestFigure01:
+    def test_series_present(self, fig01):
+        assert set(fig01.series_names()) == {
+            "util=0.01", "util=0.05", "util=0.1", "util=0.2", "perfect",
+        }
+
+    def test_perfect_is_linear(self, fig01):
+        xs, ys = fig01.get("perfect")
+        np.testing.assert_allclose(xs, ys)
+
+    def test_speedup_below_perfect(self, fig01):
+        for name in ("util=0.01", "util=0.2"):
+            _, ys = fig01.get(name)
+            _, perfect = fig01.get("perfect")
+            assert np.all(ys <= perfect + 1e-9)
+
+    def test_higher_utilization_lower_speedup(self, fig01):
+        _, low = fig01.get("util=0.01")
+        _, high = fig01.get("util=0.2")
+        assert np.all(low >= high)
+
+    def test_paper_anchor_61_percent(self, fig01):
+        assert fig01.value_at("util=0.01", 100) == pytest.approx(61.0, abs=1.0)
+
+    def test_value_at_unknown_x(self, fig01):
+        with pytest.raises(ValueError):
+            fig01.value_at("util=0.01", 33)
+
+    def test_unknown_series(self, fig01):
+        with pytest.raises(KeyError):
+            fig01.get("util=0.5")
+
+
+class TestFigures02Through06:
+    def test_fig02_efficiency_in_unit_interval(self):
+        result = run_fig02(workstation_counts=FAST_W)
+        for name in result.series_names():
+            _, ys = result.get(name)
+            assert np.all((ys > 0) & (ys <= 1.0 + 1e-9))
+
+    def test_fig03_weighted_at_least_plain_speedup(self, fig01):
+        fig03 = run_fig03(workstation_counts=FAST_W)
+        for name in ("util=0.05", "util=0.2"):
+            _, plain = fig01.get(name)
+            _, weighted = fig03.get(name)
+            assert np.all(weighted >= plain - 1e-9)
+
+    def test_fig04_anchor_values(self, fig04):
+        assert fig04.value_at("util=0.01", 100) == pytest.approx(0.615, abs=0.01)
+        assert fig04.value_at("util=0.2", 100) == pytest.approx(0.41, abs=0.015)
+
+    def test_fig05_fig06_dominate_small_job(self, fig04):
+        fig06 = run_fig06(workstation_counts=FAST_W)
+        for name in fig04.series_names():
+            _, small = fig04.get(name)
+            _, large = fig06.get(name)
+            assert np.all(large >= small - 1e-9)
+
+    def test_fig05_metadata(self):
+        result = run_fig05(workstation_counts=(1, 10))
+        assert result.metadata["job_demand"] == 10_000.0
+        assert result.figure_id == "fig05"
+
+
+class TestFigure07And08:
+    def test_fig07_monotone_in_ratio(self):
+        result = run_fig07(task_ratios=range(1, 41, 2))
+        for name in result.series_names():
+            _, ys = result.get(name)
+            assert np.all(np.diff(ys) >= -1e-9)
+
+    def test_fig07_ordering_by_utilization(self):
+        result = run_fig07(task_ratios=(5, 10, 20))
+        _, low = result.get("util=0.01")
+        _, high = result.get("util=0.2")
+        assert np.all(low >= high)
+
+    def test_fig08_ordering_by_system_size(self):
+        result = run_fig08(task_ratios=(5, 10, 20, 40))
+        _, small = result.get("numProc=2")
+        _, large = result.get("numProc=100")
+        assert np.all(small >= large)
+
+    def test_fig08_series_labels(self):
+        result = run_fig08(workstation_counts=(2, 60), task_ratios=(10,))
+        assert set(result.series_names()) == {"numProc=2", "numProc=60"}
+
+
+class TestFigure09:
+    def test_execution_time_grows_with_size_and_util(self):
+        result = run_fig09(workstation_counts=FAST_W)
+        _, low = result.get("util=0.01")
+        _, high = result.get("util=0.2")
+        assert np.all(np.diff(low) >= -1e-9)
+        assert np.all(np.diff(high) >= -1e-9)
+        assert np.all(high >= low)
+
+    def test_task_ratio_constant_metadata(self):
+        result = run_fig09(workstation_counts=(1, 10))
+        assert result.metadata["task_ratio"] == pytest.approx(10.0)
+
+    def test_anchor_44_percent_inflation(self):
+        result = run_fig09(workstation_counts=(1, 100))
+        value = result.value_at("util=0.1", 100)
+        assert value == pytest.approx(144.0, abs=2.0)
+
+
+class TestConclusions:
+    def test_threshold_table_matches_paper_within_reading_error(self):
+        result = run_conclusions_thresholds()
+        xs, ys = result.get("min task ratio")
+        paper = result.metadata["paper_values"]
+        for x, y in zip(xs, ys):
+            assert y == pytest.approx(paper[float(x)], abs=2.0)
+
+    def test_threshold_monotone_in_utilization(self):
+        result = run_conclusions_thresholds(utilizations=(0.02, 0.05, 0.1, 0.2))
+        _, ys = result.get("min task ratio")
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_scaled_inflation_matches_paper(self):
+        result = run_conclusions_scaled()
+        xs, ys = result.get("inflation")
+        paper = result.metadata["paper_values"]
+        for x, y in zip(xs, ys):
+            assert y == pytest.approx(paper[float(x)], abs=0.02)

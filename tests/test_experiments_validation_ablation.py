@@ -1,0 +1,189 @@
+"""Tests for the validation experiments (figs 10-11, Sec 2.2) and ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    agreement_summary,
+    imbalance_ablation,
+    owner_variance_ablation,
+    run_fig10,
+    run_fig11,
+    run_simulation_validation,
+    scheduling_ablation,
+    sim_mode_agreement,
+)
+from repro.workload import ValidationGrid
+
+#: Reduced grid so the PVM validation tests stay fast but still meaningful.
+FAST_GRID = ValidationGrid(
+    problem_minutes=(1.0, 4.0),
+    workstation_counts=(1, 4, 8, 12),
+    replications=4,
+)
+
+
+@pytest.fixture(scope="module")
+def fig10_result():
+    return run_fig10(grid=FAST_GRID, seed=5)
+
+
+@pytest.fixture(scope="module")
+def fig11_result():
+    return run_fig11(grid=FAST_GRID, seed=5)
+
+
+class TestSimulationValidation:
+    def test_analysis_within_confidence_intervals(self):
+        points = run_simulation_validation(
+            workstation_counts=(1, 10, 50, 100),
+            utilizations=(0.01, 0.1),
+            num_jobs=20_000,
+        )
+        summary = agreement_summary(points)
+        assert summary["points"] == 8
+        # The paper reports simulation and analysis "indistinguishable".
+        assert summary["max_abs_relative_error"] < 0.01
+        assert summary["fraction_within_ci"] >= 0.7
+
+    def test_point_fields(self):
+        points = run_simulation_validation(
+            workstation_counts=(10,), utilizations=(0.05,), num_jobs=2000
+        )
+        point = points[0]
+        assert point.workstations == 10
+        assert point.task_demand == pytest.approx(100.0)
+        d = point.as_dict()
+        assert "relative_error" in d and "ci_half_width" in d
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            agreement_summary([])
+
+
+class TestFig10Validation:
+    def test_series_structure(self, fig10_result):
+        names = fig10_result.series_names()
+        assert "measured 1" in names and "analytic 1" in names
+        assert "measured 4" in names and "analytic 4" in names
+        assert fig10_result.metadata["owner_utilization"] == pytest.approx(0.03)
+
+    def test_measured_close_to_analytic(self, fig10_result):
+        # The paper: "The models qualitative and quantitative predictions are
+        # in close agreement with the measured results."  The 1-minute problem
+        # on many workstations has tiny per-task demands (a single owner burst
+        # triples a task's time), so individual points are noisy with few
+        # replications; require close agreement on average and sanity per point.
+        for minutes in (1, 4):
+            xs, measured = fig10_result.get(f"measured {minutes}")
+            _, analytic = fig10_result.get(f"analytic {minutes}")
+            rel = np.abs(measured - analytic) / analytic
+            assert float(rel.mean()) < 0.15
+            assert np.all(rel < 0.6)
+
+    def test_response_time_decreases_with_workstations(self, fig10_result):
+        for name in fig10_result.series_names():
+            _, ys = fig10_result.get(name)
+            assert ys[0] >= ys[-1]
+
+    def test_larger_problems_take_longer(self, fig10_result):
+        _, small = fig10_result.get("measured 1")
+        _, large = fig10_result.get("measured 4")
+        assert np.all(large > small)
+
+
+class TestFig11Speedups:
+    def test_speedup_at_one_workstation_is_one(self, fig11_result):
+        for name in fig11_result.series_names():
+            if name == "perfect":
+                continue
+            assert fig11_result.value_at(name, 1) == pytest.approx(1.0)
+
+    def test_speedups_grow_with_workstations(self, fig11_result):
+        for name in ("demand = 1", "demand = 4"):
+            _, ys = fig11_result.get(name)
+            assert ys[-1] > ys[0]
+
+    def test_speedups_not_wildly_superlinear(self, fig11_result):
+        _, perfect = fig11_result.get("perfect")
+        for name in ("demand = 1", "demand = 4"):
+            _, ys = fig11_result.get(name)
+            assert np.all(ys <= perfect * 1.35)
+
+    def test_requires_single_workstation_point(self):
+        grid = ValidationGrid(
+            problem_minutes=(1.0,), workstation_counts=(2, 4), replications=1
+        )
+        with pytest.raises(ValueError):
+            run_fig11(grid=grid)
+
+
+class TestAblations:
+    def test_owner_variance_ordering(self):
+        rows = owner_variance_ablation(
+            task_demand=100.0, workstations=10, num_jobs=300, seed=101
+        )
+        by_label = {row.label: row for row in rows}
+        det = by_label["owner-demand=deterministic"].mean_job_time
+        hyper = by_label["owner-demand=hyperexponential"].mean_job_time
+        # Higher variance owner demands should not help the parallel job.
+        assert hyper >= det * 0.98
+        assert all(0 < row.weighted_efficiency <= 1.2 for row in rows)
+
+    def test_imbalance_ordering(self):
+        rows = imbalance_ablation(
+            task_demand=100.0, workstations=10, num_jobs=200, seed=103,
+            imbalances=(0.0, 0.5),
+        )
+        assert rows[0].mean_job_time < rows[-1].mean_job_time
+
+    def test_sim_mode_agreement(self):
+        results = sim_mode_agreement(num_jobs=1500, seed=7)
+        analytic = results["analytic"]
+        assert results["monte-carlo"] == pytest.approx(analytic, rel=0.03)
+        assert results["discrete-time"] == pytest.approx(analytic, rel=0.05)
+        assert results["event-driven"] == pytest.approx(analytic, rel=0.12)
+
+    def test_scheduling_ablation_improvement(self):
+        result = scheduling_ablation(
+            job_demand=1200.0, workstations=6, utilization=0.25,
+            chunks_per_worker=6, replications=3, seed=11,
+        )
+        assert result["static_mean_makespan"] > 0
+        assert result["dynamic_mean_makespan"] > 0
+        # Self-scheduling should not be dramatically worse than static.
+        assert result["improvement"] > -0.25
+        assert result["replications"] == 3.0
+
+    def test_ablation_row_dict(self):
+        rows = imbalance_ablation(
+            task_demand=50.0, workstations=4, num_jobs=100, seed=5, imbalances=(0.0,)
+        )
+        d = rows[0].as_dict()
+        assert d["label"] == "imbalance=0"
+        assert "mean_job_time" in d
+
+
+class TestHeterogeneityAblation:
+    def test_skew_hurts_at_constant_mean_load(self):
+        from repro.experiments import heterogeneity_ablation
+
+        rows = heterogeneity_ablation(
+            job_demand=3000.0,
+            workstations=30,
+            mean_utilization=0.10,
+            concentration_levels=(0.0, 1.0),
+            monte_carlo_jobs=2000,
+            seed=41,
+        )
+        assert len(rows) == 2
+        homogeneous, skewed = rows
+        assert homogeneous.label == "concentration=0"
+        assert skewed.mean_job_time > homogeneous.mean_job_time
+        assert skewed.weighted_efficiency < homogeneous.weighted_efficiency
+        # Analytic extension and Monte-Carlo cross-check agree.
+        for row in rows:
+            mc = row.parameters["monte_carlo_job_time"]
+            assert abs(mc - row.mean_job_time) / row.mean_job_time < 0.03

@@ -1,0 +1,180 @@
+"""Cross-module integration tests: analysis <-> simulation <-> PVM substrate.
+
+These tests exercise whole pipelines the way a downstream user would, checking
+that the independently developed layers tell one consistent story:
+
+* the analytical model, the cluster simulators and the PVM "measurement"
+  produce matching job times on the same configuration;
+* the feasibility API's verdict is consistent with what the simulator measures;
+* the paper's qualitative conclusions (task-ratio effect, scaled-problem
+  robustness) emerge from the simulated system, not just from the formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulationConfig, run_simulation
+from repro.core import (
+    JobSpec,
+    OwnerSpec,
+    SystemSpec,
+    TaskRounding,
+    assess_feasibility,
+    compute_metrics,
+    evaluate,
+    expected_job_time,
+)
+from repro.pvm import VirtualMachine, run_local_computation
+from repro.stats import summarize_replications
+from repro.workload import LocalComputationProblem, uptime_survey, trivial_usage_behavior
+
+
+class TestAnalysisVsSimulationVsPvm:
+    def test_three_way_agreement_on_job_time(self):
+        """Analysis, Monte-Carlo simulation and the PVM substrate agree."""
+        owner = OwnerSpec(demand=10.0, utilization=0.10)
+        workstations, task_demand = 8, 200.0
+
+        analytic = expected_job_time(
+            task_demand, workstations, owner.demand, owner.request_probability
+        )
+
+        sim = run_simulation(
+            SimulationConfig(
+                workstations=workstations,
+                task_demand=task_demand,
+                owner=owner,
+                num_jobs=4000,
+                seed=77,
+            ),
+            "monte-carlo",
+        )
+
+        pvm_times = []
+        for replication in range(30):
+            vm = VirtualMachine(
+                num_hosts=workstations, owner=owner, seed=500 + replication
+            )
+            result = run_local_computation(
+                vm, job_demand=task_demand * workstations
+            )
+            pvm_times.append(result.max_task_time)
+        pvm_mean = summarize_replications("pvm", pvm_times).mean
+
+        assert sim.mean_job_time == pytest.approx(analytic, rel=0.02)
+        # The PVM substrate relaxes the model's optimistic assumptions, so it
+        # may only be close (and generally not faster than the model).
+        assert pvm_mean == pytest.approx(analytic, rel=0.15)
+        assert pvm_mean >= task_demand
+
+    def test_feasibility_verdict_matches_simulation(self):
+        """The analytic feasibility check predicts measured weighted efficiency."""
+        owner = OwnerSpec(demand=10.0, utilization=0.10)
+        workstations = 12
+
+        for task_ratio, expected_feasible in ((2.0, False), (60.0, True)):
+            task_demand = task_ratio * owner.demand
+            job = JobSpec(
+                total_demand=task_demand * workstations,
+                rounding=TaskRounding.INTERPOLATE,
+            )
+            system = SystemSpec(workstations=workstations, owner=owner)
+            report = assess_feasibility(job, system, target_weighted_efficiency=0.80)
+            assert report.feasible is expected_feasible
+
+            sim = run_simulation(
+                SimulationConfig(
+                    workstations=workstations,
+                    task_demand=task_demand,
+                    owner=owner,
+                    num_jobs=3000,
+                    seed=int(task_ratio),
+                ),
+                "monte-carlo",
+            )
+            measured = sim.weighted_efficiency()
+            assert (measured >= 0.80) is expected_feasible
+            assert measured == pytest.approx(report.weighted_efficiency, abs=0.03)
+
+    def test_task_ratio_effect_emerges_in_pvm_measurements(self):
+        """Smaller job demands lose more speedup — Figure 11's key observation."""
+        owner = OwnerSpec(demand=10.0, utilization=0.20)
+        workstations = 8
+
+        def measured_speedup(job_demand: float) -> float:
+            singles, parallels = [], []
+            for replication in range(12):
+                vm1 = VirtualMachine(num_hosts=1, owner=owner, seed=900 + replication)
+                singles.append(
+                    run_local_computation(vm1, job_demand=job_demand).max_task_time
+                )
+                vmW = VirtualMachine(
+                    num_hosts=workstations, owner=owner, seed=1300 + replication
+                )
+                parallels.append(
+                    run_local_computation(vmW, job_demand=job_demand).max_task_time
+                )
+            return float(np.mean(singles)) / float(np.mean(parallels))
+
+        small_job_speedup = measured_speedup(240.0)    # task ratio 3
+        large_job_speedup = measured_speedup(4800.0)   # task ratio 60
+        assert large_job_speedup > small_job_speedup
+        assert large_job_speedup <= workstations * 1.1
+
+    def test_scaled_problem_tolerates_interference_in_simulation(self):
+        """Memory-bounded scaling keeps response-time inflation moderate."""
+        owner = OwnerSpec(demand=10.0, utilization=0.10)
+        per_node_demand = 100.0
+
+        def simulated_job_time(workstations: int) -> float:
+            return run_simulation(
+                SimulationConfig(
+                    workstations=workstations,
+                    task_demand=per_node_demand,
+                    owner=owner,
+                    num_jobs=4000,
+                    seed=workstations,
+                ),
+                "monte-carlo",
+            ).mean_job_time
+
+        single = simulated_job_time(1)
+        hundred = simulated_job_time(100)
+        inflation_vs_dedicated = hundred / per_node_demand - 1.0
+        # Paper: 44% at U = 10%; allow simulation noise.
+        assert inflation_vs_dedicated == pytest.approx(0.44, abs=0.05)
+        assert hundred / single < 1.5
+
+    def test_uptime_survey_feeds_model_prediction(self):
+        """Calibrating the model from the measured (simulated) owner load works."""
+        behavior = trivial_usage_behavior(0.03)
+        survey = uptime_survey(behavior, horizon=300_000.0, num_workstations=12, seed=3)
+        measured_util = survey["mean"]
+
+        problem = LocalComputationProblem(minutes=8.0)
+        owner = OwnerSpec(demand=10.0, utilization=measured_util)
+        system = SystemSpec(workstations=12, owner=owner)
+        prediction = evaluate(problem.job_spec(), system)
+        metrics = compute_metrics(prediction)
+        assert prediction.expected_job_time > problem.task_demand_units(12)
+        assert metrics.speedup > 9.0  # light load: close to linear on 12 nodes
+
+    def test_event_driven_cluster_matches_analysis_shape(self):
+        """The full event-driven simulator reproduces the U-ordering of job times."""
+        times = {}
+        for utilization in (0.01, 0.1, 0.2):
+            owner = OwnerSpec(demand=10.0, utilization=utilization)
+            result = run_simulation(
+                SimulationConfig(
+                    workstations=6,
+                    task_demand=150.0,
+                    owner=owner,
+                    num_jobs=250,
+                    seed=31,
+                ),
+                "event-driven",
+            )
+            times[utilization] = result.mean_job_time
+        assert times[0.01] < times[0.1] < times[0.2]

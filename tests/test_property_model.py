@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) for the analytical model and distributions.
+
+These encode the model's structural invariants over randomly drawn parameter
+combinations rather than hand-picked examples:
+
+* probability mass functions are non-negative and sum to one;
+* expectations respect the model's hard bounds ``T <= E_t, E_j <= T + T*O``;
+* job time is monotone in every load parameter (W, P, and stochastic order of
+  the max); metrics stay within their algebraic ranges;
+* the U <-> P conversion is a bijection on its domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OwnerSpec,
+    binomial_cdf,
+    binomial_pmf,
+    compute_metrics,
+    evaluate,
+    expected_job_time,
+    expected_task_time,
+    max_of_iid_mean,
+    max_of_iid_pmf,
+    request_probability_to_utilization,
+    utilization_to_request_probability,
+    JobSpec,
+    SystemSpec,
+    TaskRounding,
+)
+
+# Bounded strategies keep each example cheap (pmf arrays are O(trials)).
+trials_strategy = st.integers(min_value=1, max_value=400)
+prob_strategy = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_prob_strategy = st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+workstations_strategy = st.integers(min_value=1, max_value=200)
+owner_demand_strategy = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+utilization_strategy = st.floats(min_value=0.0, max_value=0.8, allow_nan=False)
+
+
+class TestDistributionProperties:
+    @given(trials=trials_strategy, prob=prob_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pmf_is_a_distribution(self, trials, prob):
+        pmf = binomial_pmf(trials, prob)
+        assert pmf.shape == (trials + 1,)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(trials=trials_strategy, prob=prob_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone_bounded(self, trials, prob):
+        cdf = binomial_cdf(trials, prob)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all((cdf >= -1e-12) & (cdf <= 1.0 + 1e-12))
+        assert cdf[-1] == pytest.approx(1.0)
+
+    @given(trials=trials_strategy, prob=small_prob_strategy, count=workstations_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_max_pmf_is_a_distribution(self, trials, prob, count):
+        cdf = binomial_cdf(trials, prob)
+        pmf = max_of_iid_pmf(cdf, count)
+        assert np.all(pmf >= -1e-15)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-8)
+
+    @given(trials=trials_strategy, prob=small_prob_strategy, count=workstations_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_max_mean_bounds(self, trials, prob, count):
+        cdf = binomial_cdf(trials, prob)
+        mean_max = max_of_iid_mean(cdf, count)
+        single_mean = trials * prob
+        assert mean_max >= single_mean - 1e-9       # max dominates one copy
+        assert mean_max <= trials + 1e-9            # bounded by the support
+
+    @given(trials=trials_strategy, prob=small_prob_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_max_mean_monotone_in_count(self, trials, prob):
+        cdf = binomial_cdf(trials, prob)
+        small = max_of_iid_mean(cdf, 2)
+        large = max_of_iid_mean(cdf, 50)
+        assert large >= small - 1e-9
+
+
+class TestConversionProperties:
+    @given(utilization=utilization_strategy, owner_demand=owner_demand_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_u_p_roundtrip(self, utilization, owner_demand):
+        p = utilization_to_request_probability(utilization, owner_demand)
+        assume(p < 1.0)  # the cap at 1.0 is lossy by design
+        back = request_probability_to_utilization(p, owner_demand)
+        assert back == pytest.approx(utilization, abs=1e-9)
+
+    @given(utilization=utilization_strategy, owner_demand=owner_demand_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_probability_in_unit_interval(self, utilization, owner_demand):
+        p = utilization_to_request_probability(utilization, owner_demand)
+        assert 0.0 <= p <= 1.0
+
+
+class TestExpectationProperties:
+    @given(
+        task_demand=trials_strategy,
+        owner_demand=owner_demand_strategy,
+        prob=small_prob_strategy,
+        workstations=workstations_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expectations_respect_hard_bounds(
+        self, task_demand, owner_demand, prob, workstations
+    ):
+        et = expected_task_time(task_demand, owner_demand, prob)
+        ej = expected_job_time(task_demand, workstations, owner_demand, prob)
+        worst = task_demand + task_demand * owner_demand
+        assert task_demand <= et <= worst + 1e-9
+        assert task_demand <= ej <= worst + 1e-9
+        assert ej >= et - 1e-9  # the max over W tasks dominates a single task
+
+    @given(
+        task_demand=trials_strategy,
+        owner_demand=owner_demand_strategy,
+        prob=small_prob_strategy,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_job_time_monotone_in_workstations(self, task_demand, owner_demand, prob):
+        small = expected_job_time(task_demand, 2, owner_demand, prob)
+        large = expected_job_time(task_demand, 100, owner_demand, prob)
+        assert large >= small - 1e-9
+
+    @given(
+        task_demand=trials_strategy,
+        owner_demand=owner_demand_strategy,
+        workstations=workstations_strategy,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_job_time_monotone_in_request_probability(
+        self, task_demand, owner_demand, workstations
+    ):
+        low = expected_job_time(task_demand, workstations, owner_demand, 0.01)
+        high = expected_job_time(task_demand, workstations, owner_demand, 0.2)
+        assert high >= low - 1e-9
+
+
+class TestMetricProperties:
+    @given(
+        job_demand=st.floats(min_value=100.0, max_value=50_000.0),
+        workstations=st.integers(min_value=1, max_value=150),
+        utilization=st.floats(min_value=0.0, max_value=0.5),
+        owner_demand=st.floats(min_value=1.0, max_value=30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_metric_ranges(self, job_demand, workstations, utilization, owner_demand):
+        job = JobSpec(total_demand=job_demand, rounding=TaskRounding.INTERPOLATE)
+        owner = OwnerSpec(demand=owner_demand, utilization=utilization)
+        metrics = compute_metrics(
+            evaluate(job, SystemSpec(workstations=workstations, owner=owner))
+        )
+        assert 0.0 < metrics.efficiency <= 1.0 + 1e-9
+        assert metrics.weighted_efficiency >= metrics.efficiency - 1e-12
+        assert 0.0 < metrics.speedup <= workstations + 1e-9
+        assert metrics.slowdown >= 1.0 - 1e-9
+        assert metrics.task_ratio > 0
+        # Weighted efficiency can exceed 1 only through the rounding of T up
+        # to a minimum of one unit; with real splits it stays at or below ~1.
+        assert metrics.weighted_efficiency <= 1.0 + 1e-6 or metrics.task_demand == 1.0
+
+    @given(
+        workstations=st.integers(min_value=2, max_value=100),
+        utilization=st.floats(min_value=0.01, max_value=0.4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_efficiency_monotone_in_task_ratio(self, workstations, utilization):
+        from repro.core import weighted_efficiency_at_task_ratio
+
+        owner = OwnerSpec(demand=10.0, utilization=utilization)
+        low = weighted_efficiency_at_task_ratio(2.0, workstations, owner)
+        high = weighted_efficiency_at_task_ratio(40.0, workstations, owner)
+        assert high >= low - 1e-9

@@ -1,0 +1,186 @@
+"""Tests for PVM message buffers and the network model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.desim import Environment
+from repro.pvm import ANY_SOURCE, ANY_TAG, Message, MessageBuffer, NetworkModel, PackingError
+
+
+class TestMessageBuffer:
+    def test_pack_unpack_in_order(self):
+        buf = MessageBuffer()
+        buf.pack_int(7).pack_double(3.14).pack_string("hello")
+        assert buf.unpack_int() == 7
+        assert buf.unpack_double() == pytest.approx(3.14)
+        assert buf.unpack_string() == "hello"
+
+    def test_array_roundtrip(self):
+        buf = MessageBuffer()
+        buf.pack_int_array([1, 2, 3])
+        buf.pack_double_array([0.5, 1.5])
+        np.testing.assert_array_equal(buf.unpack_int_array(), [1, 2, 3])
+        np.testing.assert_allclose(buf.unpack_double_array(), [0.5, 1.5])
+
+    def test_type_mismatch_raises(self):
+        buf = MessageBuffer()
+        buf.pack_int(1)
+        with pytest.raises(PackingError):
+            buf.unpack_double()
+
+    def test_exhausted_buffer_raises(self):
+        buf = MessageBuffer()
+        buf.pack_int(1)
+        buf.unpack_int()
+        with pytest.raises(PackingError):
+            buf.unpack_int()
+
+    def test_rewind(self):
+        buf = MessageBuffer()
+        buf.pack_int(5)
+        assert buf.unpack_int() == 5
+        buf.rewind()
+        assert buf.unpack_int() == 5
+
+    def test_remaining_and_len(self):
+        buf = MessageBuffer()
+        buf.pack_int(1).pack_int(2)
+        assert len(buf) == 2
+        assert buf.remaining == 2
+        buf.unpack_int()
+        assert buf.remaining == 1
+
+    def test_nbytes_accounting(self):
+        buf = MessageBuffer()
+        buf.pack_int(1)                       # 4
+        buf.pack_double(2.0)                  # 8
+        buf.pack_string("abcd")               # 4
+        buf.pack_int_array([1, 2, 3])         # 12
+        buf.pack_double_array([1.0, 2.0])     # 16
+        assert buf.nbytes == 4 + 8 + 4 + 12 + 16
+
+    def test_copy_is_independent(self):
+        buf = MessageBuffer()
+        arr = np.array([1, 2, 3])
+        buf.pack_int_array(arr)
+        clone = buf.copy()
+        unpacked = clone.unpack_int_array()
+        unpacked[0] = 99
+        buf.rewind()
+        np.testing.assert_array_equal(buf.unpack_int_array(), [1, 2, 3])
+
+    def test_copy_resets_cursor(self):
+        buf = MessageBuffer()
+        buf.pack_int(1)
+        buf.unpack_int()
+        clone = buf.copy()
+        assert clone.remaining == 1
+
+    def test_int_coercion(self):
+        buf = MessageBuffer()
+        buf.pack_int(3.0)  # type: ignore[arg-type]
+        assert buf.unpack_int() == 3
+
+
+class TestMessageMatching:
+    def _message(self, source=1, tag=5) -> Message:
+        return Message(
+            source=source,
+            destination=2,
+            tag=tag,
+            buffer=MessageBuffer(),
+            sent_at=0.0,
+            delivered_at=1.0,
+        )
+
+    def test_exact_match(self):
+        msg = self._message()
+        assert msg.matches(1, 5)
+        assert not msg.matches(2, 5)
+        assert not msg.matches(1, 6)
+
+    def test_wildcards(self):
+        msg = self._message()
+        assert msg.matches(ANY_SOURCE, 5)
+        assert msg.matches(1, ANY_TAG)
+        assert msg.matches(ANY_SOURCE, ANY_TAG)
+
+    def test_latency(self):
+        msg = self._message()
+        assert msg.latency == pytest.approx(1.0)
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        env = Environment()
+        network = NetworkModel(env, latency=0.01, bytes_per_time_unit=1000.0)
+        assert network.transfer_time(500) == pytest.approx(0.01 + 0.5)
+        assert network.transfer_time(500, same_host=True) == 0.0
+
+    def test_transmit_advances_clock(self):
+        env = Environment()
+        network = NetworkModel(env, latency=1.0, bytes_per_time_unit=100.0)
+        times = []
+
+        def sender(env):
+            yield from network.transmit(200)
+            times.append(env.now)
+
+        env.process(sender(env))
+        env.run()
+        assert times == [pytest.approx(3.0)]
+        assert network.bytes_transferred == 200
+        assert network.messages_transferred == 1
+
+    def test_same_host_is_free_and_uncounted(self):
+        env = Environment()
+        network = NetworkModel(env, latency=1.0)
+
+        def sender(env):
+            yield from network.transmit(1000, same_host=True)
+
+        env.process(sender(env))
+        env.run()
+        assert env.now == 0.0
+        assert network.messages_transferred == 0
+
+    def test_shared_medium_serialises(self):
+        env = Environment()
+        network = NetworkModel(env, latency=1.0, bytes_per_time_unit=1e12, shared_medium=True)
+        finish = []
+
+        def sender(env, name):
+            yield from network.transmit(8)
+            finish.append((name, env.now))
+
+        env.process(sender(env, "a"))
+        env.process(sender(env, "b"))
+        env.run()
+        assert finish[0][1] == pytest.approx(1.0)
+        assert finish[1][1] == pytest.approx(2.0)
+
+    def test_unshared_medium_parallel(self):
+        env = Environment()
+        network = NetworkModel(env, latency=1.0, bytes_per_time_unit=1e12, shared_medium=False)
+        finish = []
+
+        def sender(env, name):
+            yield from network.transmit(8)
+            finish.append((name, env.now))
+
+        env.process(sender(env, "a"))
+        env.process(sender(env, "b"))
+        env.run()
+        assert all(t == pytest.approx(1.0) for _, t in finish)
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            NetworkModel(env, latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(env, bytes_per_time_unit=0.0)
+        network = NetworkModel(env)
+        with pytest.raises(ValueError):
+            network.transfer_time(-1)
