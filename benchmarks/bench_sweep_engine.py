@@ -1,0 +1,72 @@
+"""Benchmark of the sweep-execution engine: serial vs parallel vs cached replay.
+
+Runs one fig01-style grid three ways — in-process serial, fanned out over a
+process pool, and replayed from the on-disk cache — recording the wall time of
+each and asserting the engine's contract: all three paths return bitwise
+identical job-time samples, and the cached replay performs zero simulations.
+The parallel-speedup assertion only applies when the machine actually has a
+second CPU to use.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.engine import SweepRunner, build_grid
+from repro.experiments.report import format_mapping
+
+#: A fig01-style grid heavy enough that per-point work dominates dispatch.
+GRID_KWARGS = dict(
+    num_jobs=20_000,
+    workstation_counts=(10, 20, 40, 60, 80, 100),
+    utilizations=(0.05, 0.10),
+)
+
+
+def _timed(runner: SweepRunner, grid) -> tuple[float, object]:
+    start = time.perf_counter()
+    outcome = runner.run(grid)
+    return time.perf_counter() - start, outcome
+
+
+def test_sweep_engine_serial_vs_parallel(once, tmp_path):
+    grid = build_grid("fig01", **GRID_KWARGS)
+
+    serial_time, serial = _timed(SweepRunner(jobs=1), grid)
+    parallel = once(SweepRunner(jobs=2).run, grid)
+
+    # Bitwise-identical results regardless of worker count.
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a.job_times, b.job_times)
+        assert np.array_equal(a.task_times, b.task_times)
+
+    cache_runner = SweepRunner(jobs=1, cache=tmp_path / "cache")
+    warm_time, warm = _timed(cache_runner, grid)
+    replay_time, replay = _timed(cache_runner, grid)
+
+    # A cached re-run performs zero simulations and replays identical samples.
+    assert warm.simulated == len(grid) and warm.cache_hits == 0
+    assert replay.simulated == 0 and replay.cache_hits == len(grid)
+    for a, b in zip(serial, replay):
+        assert np.array_equal(a.job_times, b.job_times)
+
+    print()
+    print(
+        format_mapping(
+            f"sweep engine, {len(grid)} points x {GRID_KWARGS['num_jobs']} jobs",
+            {
+                "serial_seconds": serial_time,
+                "parallel_2_workers_seconds": parallel.elapsed_seconds,
+                "cache_warm_seconds": warm_time,
+                "cache_replay_seconds": replay_time,
+                "cpus": float(os.cpu_count() or 1),
+            },
+        )
+    )
+
+    # Replay must beat simulating, and on a real multi-core machine two
+    # workers must beat one (a single-CPU container can only interleave).
+    assert replay_time < serial_time
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel.elapsed_seconds < serial_time

@@ -15,6 +15,9 @@ The package is organised as:
 * :mod:`repro.pvm` — a PVM-like message-passing substrate in simulated time;
 * :mod:`repro.workload` — owner-activity traces and the local-computation
   problem ladder;
+* :mod:`repro.engine` — the parallel sweep-execution engine (process-pool
+  fan-out over grids of simulation points, on-disk result cache, named
+  figure grids);
 * :mod:`repro.experiments` — runners regenerating every figure and finding of
   the paper, plus ablations.
 
@@ -49,9 +52,10 @@ from .core import (
     weighted_speedup,
 )
 from .cluster import SimulationConfig, SimulationResult, run_simulation
+from .engine import ResultCache, SweepRunner, build_grid
 from .pvm import VirtualMachine, run_local_computation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -78,6 +82,10 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "run_simulation",
+    # sweep engine
+    "SweepRunner",
+    "ResultCache",
+    "build_grid",
     # PVM substrate
     "VirtualMachine",
     "run_local_computation",

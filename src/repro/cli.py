@@ -15,6 +15,12 @@ Assess feasibility of a concrete job on a concrete cluster::
 
     repro-experiments feasibility --job-demand 50000 --workstations 60 \\
         --utilization 0.1 --owner-demand 10
+
+Simulate a whole figure grid through the parallel sweep engine (results are
+cached on disk, so a re-run replays instead of resimulating)::
+
+    repro-experiments sweep fig01 --jobs 4 --cache-dir .repro-cache
+    repro-experiments sweep validation --num-jobs 2000 --no-cache
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import sys
 from typing import Sequence
 
 from .core import JobSpec, OwnerSpec, SystemSpec, TaskRounding, assess_feasibility
+from .engine import GRID_NAMES, SweepRunner, build_grid, grid_mode
 from .experiments import (
     FigureResult,
     ValidationPoint,
@@ -77,6 +84,55 @@ def build_parser() -> argparse.ArgumentParser:
                              help="mean owner process demand O (default 10)")
     feas_parser.add_argument("--target", type=float, default=0.80,
                              help="target weighted efficiency (default 0.80)")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="simulate a named figure grid through the parallel sweep engine",
+    )
+    sweep_parser.add_argument(
+        "grid", help=f"sweep grid name, one of: {', '.join(GRID_NAMES)}"
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 = in-process serial)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="directory for the on-disk result cache (default .repro-cache)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (always resimulate)",
+    )
+    sweep_parser.add_argument(
+        "--mode", default=None,
+        choices=("monte-carlo", "discrete-time", "event-driven"),
+        help="simulation backend (default: the grid's backend)",
+    )
+    sweep_parser.add_argument(
+        "--num-jobs", type=int, default=None,
+        help="job completions sampled per point (default: the grid's setting)",
+    )
+    sweep_parser.add_argument(
+        "--workstations", default=None,
+        help="comma-separated workstation counts overriding the grid's W axis",
+    )
+    sweep_parser.add_argument(
+        "--utilizations", default=None,
+        help="comma-separated owner utilizations overriding the grid's curves",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed from which every point's seed is derived (default 0)",
+    )
+    sweep_parser.add_argument(
+        "--vectorized", action="store_true",
+        help=(
+            "draw the whole grid in batched numpy calls (monte-carlo only; "
+            "statistically identical to the default path but not bitwise, "
+            "so it bypasses the cache)"
+        ),
+    )
     return parser
 
 
@@ -114,6 +170,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         result = experiment.run()
         sys.stdout.write(_render_result(result, csv=args.csv, max_rows=args.max_rows))
+        return 0
+
+    if args.command == "sweep":
+        overrides: dict = {"seed": args.seed}
+        if args.num_jobs is not None:
+            overrides["num_jobs"] = args.num_jobs
+        try:
+            if args.workstations:
+                overrides["workstation_counts"] = tuple(
+                    int(w) for w in args.workstations.split(",")
+                )
+            if args.utilizations:
+                overrides["utilizations"] = tuple(
+                    float(u) for u in args.utilizations.split(",")
+                )
+            configs = build_grid(args.grid, **overrides)
+            mode = args.mode or grid_mode(args.grid)
+            if args.vectorized and mode != "monte-carlo":
+                raise ValueError(
+                    f"--vectorized only supports the monte-carlo backend, not {mode!r}"
+                )
+            runner = SweepRunner(
+                jobs=args.jobs,
+                cache=None if args.no_cache or args.vectorized else args.cache_dir,
+            )
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        outcome = (
+            runner.run_vectorized(configs)
+            if args.vectorized
+            else runner.run(configs, mode=mode)
+        )
+        for result in outcome:
+            print(result.summary())
+        print(f"sweep {args.grid}: {outcome.summary()}")
+        if runner.cache is not None:
+            print(f"cache: {len(runner.cache)} entries in {runner.cache.root}")
         return 0
 
     if args.command == "feasibility":

@@ -33,7 +33,11 @@ from typing import Literal, Sequence
 import numpy as np
 
 from ..core.analytical import evaluate_inputs
-from ..core.params import ModelInputs, OwnerSpec
+from ..core.params import (
+    ModelInputs,
+    OwnerSpec,
+    request_probability_to_utilization,
+)
 from ..desim import Environment, StreamRegistry
 from ..stats import BatchMeansResult, batch_means_interval, summarize_replications
 from .job import JobResult, TaskResult, balanced_tasks, imbalanced_tasks
@@ -117,6 +121,23 @@ class SimulationConfig:
         return self.task_demand * self.workstations
 
     @property
+    def nominal_owner_utilization(self) -> float:
+        """Owner utilization ``U``, derived via Eq. 8 when the spec gives ``P``.
+
+        :class:`OwnerSpec` currently derives both forms at construction, but
+        its ``utilization`` field is typed ``float | None``; this accessor
+        guarantees a number under that contract so result reporting never
+        depends on which form the caller used (or on the spec's eager
+        derivation remaining in place).
+        """
+        if self.owner.utilization is not None:
+            return float(self.owner.utilization)
+        assert self.owner.request_probability is not None
+        return request_probability_to_utilization(
+            self.owner.request_probability, self.owner.demand
+        )
+
+    @property
     def model_inputs(self) -> ModelInputs:
         """The analytical-model inputs corresponding to this configuration."""
         assert self.owner.request_probability is not None
@@ -158,8 +179,19 @@ class SimulationResult:
         return self.config.job_demand / self.mean_job_time
 
     def weighted_efficiency(self) -> float:
-        """Measured weighted efficiency (uses the nominal owner utilization)."""
-        u = float(self.config.owner.utilization or 0.0)
+        """Measured weighted efficiency.
+
+        Uses the owner utilization the simulation actually experienced: the
+        event-driven backend reports a measured value, which is preferred;
+        otherwise the nominal ``U`` is derived from the owner spec (via Eq. 8
+        when the spec was given as a request probability, so a
+        probability-specified owner is never silently treated as ``U = 0``).
+        """
+        u = (
+            self.measured_owner_utilization
+            if self.measured_owner_utilization is not None
+            else self.config.nominal_owner_utilization
+        )
         return self.config.job_demand / (
             (1.0 - u) * self.mean_job_time * self.config.workstations
         )
@@ -168,11 +200,30 @@ class SimulationResult:
         ci = self.job_time_interval.interval
         return (
             f"[{self.mode}] W={self.config.workstations} T={self.config.task_demand} "
-            f"U={self.config.owner.utilization:.3f}: "
+            f"U={self.config.nominal_owner_utilization:.3f}: "
             f"E_t≈{self.mean_task_time:.2f}, E_j≈{self.mean_job_time:.2f} "
             f"± {ci.half_width:.2f} ({ci.confidence:.0%} CI, "
             f"{self.num_jobs} jobs)"
         )
+
+
+def _integral_task_demand(task_demand: float, mode: str) -> int:
+    """Validate that a discrete backend received an integer task demand.
+
+    The discrete-time walk and the Monte-Carlo sampler treat ``T`` as the
+    binomial trial count, so a fractional demand cannot be honoured — and
+    silently rounding it (to 0 in the worst case) distorts results without
+    warning.  The event-driven backend and the analytical closed forms accept
+    fractional ``T``; use those (or :class:`~repro.core.params.TaskRounding`)
+    for non-integral demands.
+    """
+    if float(task_demand) != int(task_demand):
+        raise ValueError(
+            f"the {mode} backend requires an integral task_demand (it is the "
+            f"binomial trial count), got {task_demand!r}; round it explicitly "
+            "via TaskRounding or use the event-driven backend"
+        )
+    return int(task_demand)
 
 
 def simulate_task_discrete(
@@ -214,7 +265,7 @@ class DiscreteTimeSimulator:
         assert cfg.owner.request_probability is not None
         p = cfg.owner.request_probability
         rng = self._streams.stream("discrete-time")
-        t = int(round(cfg.task_demand))
+        t = _integral_task_demand(cfg.task_demand, self.mode)
         job_times = np.empty(cfg.num_jobs, dtype=np.float64)
         task_times = np.empty((cfg.num_jobs, cfg.workstations), dtype=np.float64)
         for j in range(cfg.num_jobs):
@@ -248,7 +299,7 @@ class MonteCarloSampler:
         assert cfg.owner.request_probability is not None
         rng = self._streams.stream("monte-carlo")
         n = num_jobs if num_jobs is not None else cfg.num_jobs
-        t = int(round(cfg.task_demand))
+        t = _integral_task_demand(cfg.task_demand, self.mode)
         return rng.binomial(
             t, cfg.owner.request_probability, size=(n, cfg.workstations)
         )
@@ -256,7 +307,7 @@ class MonteCarloSampler:
     def run(self) -> SimulationResult:
         """Sample ``num_jobs`` jobs and return the estimates."""
         cfg = self.config
-        t = int(round(cfg.task_demand))
+        t = _integral_task_demand(cfg.task_demand, self.mode)
         interruptions = self.sample_interruptions()
         task_times = t + interruptions * cfg.owner.demand
         job_times = task_times.max(axis=1).astype(np.float64)
@@ -269,6 +320,69 @@ class MonteCarloSampler:
                 job_times, cfg.num_batches, cfg.confidence
             ),
         )
+
+    @classmethod
+    def run_batch(
+        cls,
+        configs: Sequence[SimulationConfig],
+        seed: int | None = None,
+    ) -> list[SimulationResult]:
+        """Sample several configs sharing one ``(W, T)`` cell in a single draw.
+
+        A utilization sweep evaluates the same ``(W, T, num_jobs)`` grid cell
+        under ``k`` different owner request probabilities; this path stacks
+        those probabilities and draws the full ``(k, num_jobs, W)`` binomial
+        interruption tensor in one vectorised numpy call instead of ``k``
+        separate sampler runs.  Statistically identical to per-config
+        :meth:`run` calls but *not* bitwise (the batch shares a single
+        stream seeded from ``seed``, default: the first config's seed).
+        """
+        if not configs:
+            return []
+        first = configs[0]
+        t = _integral_task_demand(first.task_demand, cls.mode)
+        for cfg in configs[1:]:
+            if (
+                cfg.workstations != first.workstations
+                or float(cfg.task_demand) != float(first.task_demand)
+                or cfg.num_jobs != first.num_jobs
+                or cfg.num_batches != first.num_batches
+                or cfg.confidence != first.confidence
+            ):
+                raise ValueError(
+                    "run_batch requires configs sharing workstations, "
+                    "task_demand, num_jobs, num_batches and confidence; "
+                    f"got {cfg!r} vs {first!r}"
+                )
+        streams = StreamRegistry(seed if seed is not None else first.seed)
+        rng = streams.stream("monte-carlo-batch")
+        probabilities = np.empty((len(configs), 1, 1), dtype=np.float64)
+        demands = np.empty((len(configs), 1, 1), dtype=np.float64)
+        for i, cfg in enumerate(configs):
+            assert cfg.owner.request_probability is not None
+            probabilities[i, 0, 0] = cfg.owner.request_probability
+            demands[i, 0, 0] = cfg.owner.demand
+        interruptions = rng.binomial(
+            t,
+            probabilities,
+            size=(len(configs), first.num_jobs, first.workstations),
+        )
+        task_times = t + interruptions * demands
+        results: list[SimulationResult] = []
+        for i, cfg in enumerate(configs):
+            job_times = task_times[i].max(axis=1).astype(np.float64)
+            results.append(
+                SimulationResult(
+                    config=cfg,
+                    mode=cls.mode,
+                    job_times=job_times,
+                    task_times=task_times[i].ravel().astype(np.float64),
+                    job_time_interval=batch_means_interval(
+                        job_times, cfg.num_batches, cfg.confidence
+                    ),
+                )
+            )
+        return results
 
 
 class EventDrivenClusterSimulator:

@@ -274,6 +274,25 @@ class StreamRegistry:
             self._spawned += 1
         return self._streams[name]
 
+    def derive_seed(self, name: str) -> int:
+        """Derive a stable integer seed for an independent child simulation.
+
+        Unlike :meth:`stream`, the result depends only on this registry's root
+        entropy and ``name`` — not on how many streams were created before —
+        so sweep engines can hand every grid point its own seed and the
+        point's samples stay identical when the grid is reordered, subset or
+        executed in parallel.  The returned value fits in 63 bits (a valid
+        seed for :class:`numpy.random.SeedSequence` and friends).
+        """
+        import hashlib
+
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        spawn_key = int.from_bytes(digest[:8], "little")
+        child = np.random.SeedSequence(
+            entropy=self._seed_sequence.entropy, spawn_key=(spawn_key,)
+        )
+        return int(child.generate_state(1, np.uint64)[0] >> 1)
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 

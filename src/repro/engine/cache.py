@@ -1,0 +1,161 @@
+"""On-disk result cache for sweep executions.
+
+Reproducing a figure means evaluating a grid of independent simulation points;
+most of the cost of iterating on a figure is re-simulating points that have
+not changed.  :class:`ResultCache` stores each completed
+:class:`~repro.cluster.simulation.SimulationResult` as one compressed NPZ file
+(raw job/task time arrays plus a JSON metadata record) keyed by a stable
+fingerprint of the ``(SimulationConfig, mode)`` pair, so replaying a sweep
+loads the raw samples instead of resimulating — the raw→cache→report pipeline
+used by the figure-reproduction repos this engine is modelled on.
+
+The fingerprint covers every field that influences the simulation output
+(including the seed and the backend mode), so two configs collide only when
+they would produce bitwise-identical results.  Confidence intervals are *not*
+serialized; they are recomputed from the cached job times on load, which is
+deterministic and keeps the cache format independent of the stats layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..cluster.simulation import SimulationConfig, SimulationResult
+from ..stats import batch_means_interval
+
+__all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
+
+#: Bump when the on-disk layout or the fingerprint payload changes.
+CACHE_VERSION = 1
+
+
+def config_fingerprint(config: SimulationConfig, mode: str) -> str:
+    """Stable hex digest identifying one ``(config, mode)`` simulation point.
+
+    Every field that affects the sampled output enters the payload; floats are
+    serialized via ``repr`` round-tripping JSON so equal configs always map to
+    the same key.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "mode": str(mode),
+        "workstations": int(config.workstations),
+        "task_demand": float(config.task_demand),
+        "owner_demand": float(config.owner.demand),
+        "owner_utilization": (
+            None if config.owner.utilization is None else float(config.owner.utilization)
+        ),
+        "request_probability": (
+            None
+            if config.owner.request_probability is None
+            else float(config.owner.request_probability)
+        ),
+        "num_jobs": int(config.num_jobs),
+        "num_batches": int(config.num_batches),
+        "confidence": float(config.confidence),
+        "seed": int(config.seed),
+        "owner_demand_kind": str(config.owner_demand_kind),
+        "owner_demand_kwargs": sorted(
+            (str(k), float(v)) for k, v in config.owner_demand_kwargs.items()
+        ),
+        "imbalance": float(config.imbalance),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of completed simulation points.
+
+    One NPZ file per point, named after its fingerprint.  Writes are atomic
+    (temp file + ``os.replace``) so concurrent sweep workers sharing a cache
+    directory never observe torn files.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, config: SimulationConfig, mode: str) -> Path:
+        """Cache file path of one simulation point."""
+        return self.root / f"{config_fingerprint(config, mode)}.npz"
+
+    def contains(self, config: SimulationConfig, mode: str) -> bool:
+        return self.path_for(config, mode).exists()
+
+    def load(self, config: SimulationConfig, mode: str) -> SimulationResult | None:
+        """Return the cached result for a point, or ``None`` on a miss.
+
+        A corrupt or unreadable entry is treated as a miss (the point is
+        simply resimulated and rewritten).
+        """
+        path = self.path_for(config, mode)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                job_times = np.asarray(data["job_times"], dtype=np.float64)
+                task_times = np.asarray(data["task_times"], dtype=np.float64)
+                measured = float(data["measured_owner_utilization"])
+        except (OSError, KeyError, ValueError):
+            return None
+        if job_times.size != config.num_jobs:
+            return None
+        return SimulationResult(
+            config=config,
+            mode=mode,
+            job_times=job_times,
+            task_times=task_times,
+            job_time_interval=batch_means_interval(
+                job_times, config.num_batches, config.confidence
+            ),
+            measured_owner_utilization=None if np.isnan(measured) else measured,
+        )
+
+    def store(self, config: SimulationConfig, mode: str, result: SimulationResult) -> Path:
+        """Persist one completed point; returns the cache file path."""
+        path = self.path_for(config, mode)
+        measured = (
+            np.nan
+            if result.measured_owner_utilization is None
+            else float(result.measured_owner_utilization)
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    job_times=np.asarray(result.job_times, dtype=np.float64),
+                    task_times=np.asarray(result.task_times, dtype=np.float64),
+                    measured_owner_utilization=np.float64(measured),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached point; returns how many entries were removed."""
+        removed = 0
+        for entry in self.root.glob("*.npz"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.npz"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,144 @@
+"""Named simulation-sweep grids for the figure experiments.
+
+Each figure of the paper corresponds to a grid of independent simulation
+points.  This module names those grids so the CLI (``repro-experiments sweep
+fig01``), the benchmarks and the tests all build the *same*
+:class:`~repro.cluster.simulation.SimulationConfig` lists — with per-point
+seeds derived deterministically from one base seed via
+:meth:`~repro.desim.StreamRegistry.derive_seed`, so every point is independent
+yet the whole sweep reproduces from a single integer.
+
+Figures 1–6 share the fixed-job-size grid (``J`` constant, ``W`` swept, one
+curve per owner utilization); Figure 9 uses the scaled-workload grid (constant
+per-node demand ``T``); ``validation`` is the Section-2.2 grid at the paper's
+20 × 1000 sampling effort.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.simulation import SimulationConfig
+from ..core.params import OwnerSpec, TaskRounding, split_job_demand
+from ..desim import StreamRegistry
+
+__all__ = ["GRID_NAMES", "build_grid", "grid_mode", "grid_from_product"]
+
+#: Owner utilizations plotted in the paper's Figures 1-9.
+_PAPER_UTILIZATIONS: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20)
+
+#: Default workstation counts: the Section-2.2 validation x-axis.
+_DEFAULT_WORKSTATIONS: tuple[int, ...] = (1, 5, 10, 20, 40, 60, 80, 100)
+
+#: name -> (kind, demand, default num_jobs); ``fixed`` reads demand as the
+#: total job size ``J``, ``scaled`` as the constant per-node demand ``T``.
+_GRIDS: dict[str, tuple[str, float, int]] = {
+    "fig01": ("fixed", 1000.0, 2000),
+    "fig02": ("fixed", 1000.0, 2000),
+    "fig03": ("fixed", 1000.0, 2000),
+    "fig04": ("fixed", 1000.0, 2000),
+    "fig05": ("fixed", 10_000.0, 2000),
+    "fig06": ("fixed", 10_000.0, 2000),
+    "fig09": ("scaled", 100.0, 2000),
+    "validation": ("fixed", 1000.0, 20_000),
+}
+
+GRID_NAMES: tuple[str, ...] = tuple(_GRIDS)
+
+
+def grid_mode(name: str) -> str:
+    """Simulation backend for a named grid (all paper grids use Monte-Carlo)."""
+    if name not in _GRIDS:
+        raise KeyError(f"unknown sweep grid {name!r}; known grids: {sorted(_GRIDS)}")
+    return "monte-carlo"
+
+
+def grid_from_product(
+    name: str,
+    task_demands: Sequence[float],
+    workstation_counts: Sequence[int],
+    utilizations: Sequence[float],
+    *,
+    owner_demand: float = 10.0,
+    num_jobs: int = 2000,
+    num_batches: int = 20,
+    confidence: float = 0.90,
+    seed: int = 0,
+) -> list[SimulationConfig]:
+    """Cross a ``(T, W)`` sequence with owner utilizations into config points.
+
+    ``task_demands`` and ``workstation_counts`` are paired element-wise (one
+    ``(T, W)`` cell per index); utilizations form the outer product.  Each
+    point receives an independent seed derived from ``seed`` and the point's
+    coordinates, so reordering or subsetting the grid never changes any
+    point's samples.
+    """
+    if len(task_demands) != len(workstation_counts):
+        raise ValueError(
+            f"task_demands ({len(task_demands)}) and workstation_counts "
+            f"({len(workstation_counts)}) must pair up element-wise"
+        )
+    streams = StreamRegistry(seed)
+    configs: list[SimulationConfig] = []
+    for utilization in utilizations:
+        owner = OwnerSpec(demand=owner_demand, utilization=float(utilization))
+        for task_demand, workstations in zip(task_demands, workstation_counts):
+            point_seed = streams.derive_seed(
+                f"{name}/U={float(utilization):g}/W={int(workstations)}"
+                f"/T={float(task_demand):g}"
+            )
+            configs.append(
+                SimulationConfig(
+                    workstations=int(workstations),
+                    task_demand=float(task_demand),
+                    owner=owner,
+                    num_jobs=num_jobs,
+                    num_batches=num_batches,
+                    confidence=confidence,
+                    seed=point_seed,
+                )
+            )
+    return configs
+
+
+def build_grid(
+    name: str,
+    *,
+    workstation_counts: Sequence[int] | None = None,
+    utilizations: Sequence[float] | None = None,
+    num_jobs: int | None = None,
+    owner_demand: float = 10.0,
+    num_batches: int = 20,
+    confidence: float = 0.90,
+    seed: int = 0,
+) -> list[SimulationConfig]:
+    """Build the config list of a named grid (dimensions overridable)."""
+    try:
+        kind, demand, default_jobs = _GRIDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep grid {name!r}; known grids: {sorted(_GRIDS)}"
+        ) from None
+    if workstation_counts is None:
+        workstation_counts = _DEFAULT_WORKSTATIONS
+    if utilizations is None:
+        utilizations = _PAPER_UTILIZATIONS
+    counts = tuple(int(w) for w in workstation_counts)
+    utils = tuple(float(u) for u in utilizations)
+    if kind == "fixed":
+        task_demands = [
+            split_job_demand(demand, w, TaskRounding.ROUND) for w in counts
+        ]
+    else:
+        task_demands = [demand] * len(counts)
+    return grid_from_product(
+        name,
+        task_demands,
+        counts,
+        utils,
+        owner_demand=owner_demand,
+        num_jobs=num_jobs if num_jobs is not None else default_jobs,
+        num_batches=num_batches,
+        confidence=confidence,
+        seed=seed,
+    )

@@ -28,6 +28,7 @@ import numpy as np
 from ..cluster import SimulationConfig, run_simulation
 from ..core.analytical import evaluate_inputs
 from ..core.params import OwnerSpec
+from ..engine import SweepRunner
 from ..pvm import VirtualMachine, run_local_computation, run_self_scheduling
 
 __all__ = [
@@ -66,18 +67,19 @@ def owner_variance_ablation(
     demand_kinds: Sequence[str] = ("deterministic", "exponential", "hyperexponential"),
     num_jobs: int = 400,
     seed: int = 11,
+    jobs: int | None = 1,
 ) -> list[AblationRow]:
     """Effect of owner-demand variance on job time and weighted efficiency.
 
     All rows share the same mean owner demand and nominal utilization; only
     the demand distribution changes.  The paper predicts (and this ablation
     confirms) that higher variance hurts: its deterministic results are a best
-    case.
+    case.  The rows are independent simulations, executed through the sweep
+    engine (``jobs`` worker processes).
     """
     owner = OwnerSpec(demand=owner_demand, utilization=utilization)
-    rows: list[AblationRow] = []
-    for kind in demand_kinds:
-        config = SimulationConfig(
+    configs = [
+        SimulationConfig(
             workstations=workstations,
             task_demand=task_demand,
             owner=owner,
@@ -86,20 +88,22 @@ def owner_variance_ablation(
             owner_demand_kind=kind,
             owner_demand_kwargs={"squared_cv": 4.0} if kind == "hyperexponential" else {},
         )
-        result = run_simulation(config, "event-driven")
-        rows.append(
-            AblationRow(
-                label=f"owner-demand={kind}",
-                parameters={
-                    "task_demand": task_demand,
-                    "workstations": float(workstations),
-                    "utilization": utilization,
-                },
-                mean_job_time=result.mean_job_time,
-                weighted_efficiency=result.weighted_efficiency(),
-            )
+        for kind in demand_kinds
+    ]
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="event-driven")
+    return [
+        AblationRow(
+            label=f"owner-demand={kind}",
+            parameters={
+                "task_demand": task_demand,
+                "workstations": float(workstations),
+                "utilization": utilization,
+            },
+            mean_job_time=result.mean_job_time,
+            weighted_efficiency=result.weighted_efficiency(),
         )
-    return rows
+        for kind, result in zip(demand_kinds, outcome)
+    ]
 
 
 def imbalance_ablation(
@@ -110,12 +114,16 @@ def imbalance_ablation(
     imbalances: Sequence[float] = (0.0, 0.1, 0.25, 0.5),
     num_jobs: int = 400,
     seed: int = 13,
+    jobs: int | None = 1,
 ) -> list[AblationRow]:
-    """Effect of relaxing the perfectly balanced task split."""
+    """Effect of relaxing the perfectly balanced task split.
+
+    One independent event-driven simulation per imbalance level, executed
+    through the sweep engine (``jobs`` worker processes).
+    """
     owner = OwnerSpec(demand=owner_demand, utilization=utilization)
-    rows: list[AblationRow] = []
-    for imbalance in imbalances:
-        config = SimulationConfig(
+    configs = [
+        SimulationConfig(
             workstations=workstations,
             task_demand=task_demand,
             owner=owner,
@@ -123,21 +131,23 @@ def imbalance_ablation(
             seed=seed,
             imbalance=float(imbalance),
         )
-        result = run_simulation(config, "event-driven")
-        rows.append(
-            AblationRow(
-                label=f"imbalance={imbalance:g}",
-                parameters={
-                    "task_demand": task_demand,
-                    "workstations": float(workstations),
-                    "utilization": utilization,
-                    "imbalance": float(imbalance),
-                },
-                mean_job_time=result.mean_job_time,
-                weighted_efficiency=result.weighted_efficiency(),
-            )
+        for imbalance in imbalances
+    ]
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="event-driven")
+    return [
+        AblationRow(
+            label=f"imbalance={imbalance:g}",
+            parameters={
+                "task_demand": task_demand,
+                "workstations": float(workstations),
+                "utilization": utilization,
+                "imbalance": float(imbalance),
+            },
+            mean_job_time=result.mean_job_time,
+            weighted_efficiency=result.weighted_efficiency(),
         )
-    return rows
+        for imbalance, result in zip(imbalances, outcome)
+    ]
 
 
 def sim_mode_agreement(

@@ -7,7 +7,13 @@ paper's quoted anchor values, or plotted by downstream users.
 
 Figures 1-9 are pure evaluations of the analytical model; Figures 10 and 11
 re-run the experimental validation on the simulated PVM substrate with the
-owner utilization calibrated to the paper's measured 3%.
+owner utilization calibrated to the paper's measured 3%.  The validation
+measurements are independent grid points executed via the sweep engine's
+:func:`~repro.engine.parallel_map` — pass ``jobs`` to :func:`run_fig10` /
+:func:`run_fig11` to fan the replications out over worker processes
+(per-point seeds keep the measurements identical for any worker count).
+Simulation counterparts of the figure grids are available through
+``repro-experiments sweep`` (see :mod:`repro.engine.grids`).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from ..core.feasibility import feasibility_frontier, weighted_efficiency_at_task
 from ..core.metrics import compute_metrics
 from ..core.params import JobSpec, OwnerSpec, SystemSpec, TaskRounding
 from ..core.scaling import response_time_inflation, scaled_sweep
+from ..engine import parallel_map
 from ..pvm import VirtualMachine, run_local_computation
 from ..stats import summarize_replications
 from ..workload import ValidationGrid, standard_problem_ladder
@@ -333,49 +340,71 @@ def run_fig09(
     )
 
 
+def _measure_validation_point(
+    payload: tuple[int, OwnerSpec, int, float]
+) -> float:
+    """One PVM validation measurement (top-level so worker processes can run it)."""
+    workstations, owner, point_seed, job_demand = payload
+    vm = VirtualMachine(
+        num_hosts=workstations,
+        owner=owner,
+        seed=point_seed,
+        spawn_overhead=0.0,
+    )
+    return run_local_computation(vm, job_demand=job_demand).max_task_time
+
+
 def _run_validation_measurements(
     grid: ValidationGrid,
     seed: int,
+    jobs: int | None = 1,
 ) -> dict[tuple[float, int], list[float]]:
     """Run the PVM local-computation experiment over the validation grid.
 
     Returns the per-(problem-minutes, workstations) list of measured maximum
     task execution times (in model units = simulated seconds), one entry per
-    replication.
+    replication.  The grid cells are independent virtual machines with seeds
+    fixed by their coordinates, so they are fanned out over ``jobs`` worker
+    processes via the sweep engine without changing any measurement.
     """
-    measurements: dict[tuple[float, int], list[float]] = {}
+    keys: list[tuple[float, int]] = []
+    payloads: list[tuple[int, OwnerSpec, int, float]] = []
     for problem in grid.problems:
         for workstations in grid.workstation_counts:
             key = (problem.minutes, int(workstations))
-            measurements[key] = []
             for replication in range(grid.replications):
-                vm = VirtualMachine(
-                    num_hosts=int(workstations),
-                    owner=grid.owner_spec,
-                    seed=seed + hash(key) % 100_000 + replication,
-                    spawn_overhead=0.0,
+                keys.append(key)
+                payloads.append(
+                    (
+                        int(workstations),
+                        grid.owner_spec,
+                        seed + hash(key) % 100_000 + replication,
+                        problem.total_demand_units,
+                    )
                 )
-                result = run_local_computation(
-                    vm, job_demand=problem.total_demand_units
-                )
-                measurements[key].append(result.max_task_time)
+    times = parallel_map(_measure_validation_point, payloads, jobs=jobs)
+    measurements: dict[tuple[float, int], list[float]] = {}
+    for key, value in zip(keys, times):
+        measurements.setdefault(key, []).append(value)
     return measurements
 
 
 def run_fig10(
     grid: Optional[ValidationGrid] = None,
     seed: int = 1993,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Figure 10: measured vs analytic maximum task execution time.
 
     The "measured" series come from the simulated PVM substrate (one curve per
     problem size, mean of the replications); the "analytic" series evaluate
-    the model at the grid's owner utilization (3% in the paper).
+    the model at the grid's owner utilization (3% in the paper).  ``jobs``
+    fans the measurements out over worker processes.
     """
     if grid is None:
         grid = ValidationGrid()
     xs = np.asarray(list(grid.workstation_counts), dtype=np.float64)
-    measurements = _run_validation_measurements(grid, seed)
+    measurements = _run_validation_measurements(grid, seed, jobs=jobs)
     series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     owner = grid.owner_spec
     for problem in grid.problems:
@@ -417,12 +446,14 @@ def run_fig10(
 def run_fig11(
     grid: Optional[ValidationGrid] = None,
     seed: int = 1993,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Figure 11: measured speedups of the validation experiment.
 
     Speedup is defined as in Section 4: the ratio of the maximum task
     execution time on one workstation to the maximum task execution time on
-    ``W`` workstations, per problem size.
+    ``W`` workstations, per problem size.  ``jobs`` fans the measurements out
+    over worker processes.
     """
     if grid is None:
         grid = ValidationGrid()
@@ -432,7 +463,7 @@ def run_fig11(
             "include 1 in grid.workstation_counts"
         )
     xs = np.asarray(list(grid.workstation_counts), dtype=np.float64)
-    measurements = _run_validation_measurements(grid, seed)
+    measurements = _run_validation_measurements(grid, seed, jobs=jobs)
     series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for problem in grid.problems:
         base = float(

@@ -6,6 +6,12 @@ finding the two "indistinguishable".  :func:`run_simulation_validation`
 repeats that study with the reproduction's simulators and reports, for every
 (W, U) point, the analytic and simulated job times, the CI and whether the
 analytic value lies inside the simulation's confidence interval.
+
+The grid is executed through the sweep engine
+(:class:`repro.engine.SweepRunner`): pass ``jobs`` to fan the points out over
+worker processes and ``cache_dir`` to replay previously simulated points from
+disk.  Per-point seeds are fixed by the grid coordinates, so the results are
+identical for any ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -15,9 +21,10 @@ from typing import Sequence
 
 import numpy as np
 
-from ..cluster import SimulationConfig, run_simulation
+from ..cluster import SimulationConfig
 from ..core.analytical import evaluate_inputs
 from ..core.params import JobSpec, OwnerSpec, SystemSpec, TaskRounding
+from ..engine import SweepRunner
 
 __all__ = ["ValidationPoint", "run_simulation_validation", "agreement_summary"]
 
@@ -58,48 +65,62 @@ def run_simulation_validation(
     confidence: float = 0.90,
     mode: str = "monte-carlo",
     seed: int = 0,
+    jobs: int | None = 1,
+    cache_dir: str | None = None,
 ) -> list[ValidationPoint]:
     """Reproduce the Section-2.2 validation over a grid of (W, U) points.
 
     The defaults use the paper's Figure-1 parameters and its batch-means setup
     (20 batches x 1000 samples = 20 000 job completions per point) with the
     fast Monte-Carlo back-end; pass ``mode="discrete-time"`` for the literal
-    unit-by-unit walk (much slower, statistically identical).
+    unit-by-unit walk (much slower, statistically identical).  ``jobs`` and
+    ``cache_dir`` control the sweep engine (worker processes / on-disk result
+    replay) without affecting any point's samples.
     """
-    points: list[ValidationPoint] = []
     job = JobSpec(total_demand=job_demand, rounding=TaskRounding.ROUND)
+    configs: list[SimulationConfig] = []
+    coordinates: list[tuple[float, int]] = []
     for utilization in utilizations:
         owner = OwnerSpec(demand=owner_demand, utilization=float(utilization))
         for workstations in workstation_counts:
             system = SystemSpec(workstations=int(workstations), owner=owner)
             task_demand = job.task_demand(system.workstations)
-            config = SimulationConfig(
-                workstations=int(workstations),
-                task_demand=task_demand,
-                owner=owner,
-                num_jobs=num_jobs,
-                num_batches=num_batches,
-                confidence=confidence,
-                seed=seed + int(workstations) * 1000 + int(utilization * 1000),
-            )
-            result = run_simulation(config, mode)  # type: ignore[arg-type]
-            analytic = evaluate_inputs(config.model_inputs)
-            interval = result.job_time_interval.interval
-            rel_error = (
-                result.mean_job_time - analytic.expected_job_time
-            ) / analytic.expected_job_time
-            points.append(
-                ValidationPoint(
+            configs.append(
+                SimulationConfig(
                     workstations=int(workstations),
-                    utilization=float(utilization),
                     task_demand=task_demand,
-                    analytic_job_time=analytic.expected_job_time,
-                    simulated_job_time=result.mean_job_time,
-                    ci_half_width=interval.half_width,
-                    relative_error=rel_error,
-                    analytic_within_ci=interval.contains(analytic.expected_job_time),
+                    owner=owner,
+                    num_jobs=num_jobs,
+                    num_batches=num_batches,
+                    confidence=confidence,
+                    seed=seed + int(workstations) * 1000 + int(utilization * 1000),
                 )
             )
+            coordinates.append((float(utilization), int(workstations)))
+
+    outcome = SweepRunner(jobs=jobs, cache=cache_dir).run(configs, mode=mode)
+
+    points: list[ValidationPoint] = []
+    for (utilization, workstations), config, result in zip(
+        coordinates, configs, outcome
+    ):
+        analytic = evaluate_inputs(config.model_inputs)
+        interval = result.job_time_interval.interval
+        rel_error = (
+            result.mean_job_time - analytic.expected_job_time
+        ) / analytic.expected_job_time
+        points.append(
+            ValidationPoint(
+                workstations=workstations,
+                utilization=utilization,
+                task_demand=config.task_demand,
+                analytic_job_time=analytic.expected_job_time,
+                simulated_job_time=result.mean_job_time,
+                ci_half_width=interval.half_width,
+                relative_error=rel_error,
+                analytic_within_ci=interval.contains(analytic.expected_job_time),
+            )
+        )
     return points
 
 

@@ -199,6 +199,151 @@ class TestEventDrivenSimulator:
         assert t_noisy > t_base
 
 
+class TestResultCorrectnessRegressions:
+    """Regression tests for the OwnerSpec / result-summary correctness fixes."""
+
+    def _probability_config(self, **kwargs) -> SimulationConfig:
+        owner = OwnerSpec.from_request_probability(0.002, demand=10.0)
+        defaults = dict(
+            workstations=4, task_demand=100, owner=owner, num_jobs=120,
+            num_batches=4, seed=21,
+        )
+        defaults.update(kwargs)
+        return SimulationConfig(**defaults)
+
+    def test_summary_with_probability_specified_owner(self):
+        """summary() must derive U via Eq. 8, never crash or print a blank."""
+        result = run_simulation(self._probability_config(), "monte-carlo")
+        text = result.summary()
+        # P=0.002, O=10 => U = 10 / (10 + 500) ≈ 0.0196 (Eq. 8).
+        assert "U=0.020" in text
+
+    def test_weighted_efficiency_with_probability_specified_owner(self):
+        """A probability-specified owner is not treated as U=0."""
+        result = run_simulation(self._probability_config(), "monte-carlo")
+        u = 10.0 / (10.0 + 1.0 / 0.002)
+        expected = result.config.job_demand / (
+            (1.0 - u) * result.mean_job_time * result.config.workstations
+        )
+        assert result.weighted_efficiency() == pytest.approx(expected)
+        # The wrong U=0 value would be smaller by the factor (1 - u).
+        wrong = expected * (1.0 - u)
+        assert result.weighted_efficiency() != pytest.approx(wrong)
+
+    def test_weighted_efficiency_prefers_measured_utilization(self, paper_owner):
+        """When the event-driven backend measures U, that value is used."""
+        config = SimulationConfig(
+            workstations=4, task_demand=100, owner=paper_owner, num_jobs=100,
+            num_batches=4, seed=22,
+        )
+        base = run_simulation(config, "event-driven")
+        assert base.measured_owner_utilization is not None
+        from dataclasses import replace
+
+        measured = 0.30  # deliberately far from the nominal 0.10
+        doctored = replace(base, measured_owner_utilization=measured)
+        expected = config.job_demand / (
+            (1.0 - measured) * doctored.mean_job_time * config.workstations
+        )
+        assert doctored.weighted_efficiency() == pytest.approx(expected)
+
+    def test_nominal_utilization_accessor(self, paper_owner):
+        config = SimulationConfig(
+            workstations=2, task_demand=10, owner=paper_owner, num_jobs=20,
+            num_batches=2,
+        )
+        assert config.nominal_owner_utilization == pytest.approx(0.10)
+        prob_config = self._probability_config()
+        assert prob_config.nominal_owner_utilization == pytest.approx(
+            10.0 / (10.0 + 1.0 / 0.002)
+        )
+
+
+class TestFractionalTaskDemandRejected:
+    """The discrete backends must refuse (not silently round) fractional T."""
+
+    @pytest.mark.parametrize("mode", ["monte-carlo", "discrete-time"])
+    @pytest.mark.parametrize("task_demand", [0.4, 10.5, 99.9])
+    def test_discrete_backends_raise(self, paper_owner, mode, task_demand):
+        config = SimulationConfig(
+            workstations=2, task_demand=task_demand, owner=paper_owner,
+            num_jobs=40, num_batches=4,
+        )
+        with pytest.raises(ValueError, match="integral task_demand"):
+            run_simulation(config, mode)  # type: ignore[arg-type]
+
+    def test_sample_interruptions_raises_too(self, paper_owner):
+        config = SimulationConfig(
+            workstations=2, task_demand=0.4, owner=paper_owner,
+            num_jobs=40, num_batches=4,
+        )
+        with pytest.raises(ValueError, match="integral task_demand"):
+            MonteCarloSampler(config).sample_interruptions()
+
+    def test_event_driven_still_accepts_fractional(self, paper_owner):
+        config = SimulationConfig(
+            workstations=2, task_demand=10.5, owner=paper_owner,
+            num_jobs=30, num_batches=3, seed=23,
+        )
+        result = run_simulation(config, "event-driven")
+        assert result.mean_job_time >= 10.5
+
+    def test_integral_float_demand_still_accepted(self, paper_owner):
+        config = SimulationConfig(
+            workstations=2, task_demand=50.0, owner=paper_owner,
+            num_jobs=40, num_batches=4,
+        )
+        assert run_simulation(config, "monte-carlo").num_jobs == 40
+
+
+class TestMonteCarloBatch:
+    def test_matches_per_config_statistics(self, paper_owner, light_owner):
+        configs = [
+            SimulationConfig(
+                workstations=10, task_demand=100, owner=owner, num_jobs=4000,
+                seed=31,
+            )
+            for owner in (light_owner, paper_owner)
+        ]
+        batch = MonteCarloSampler.run_batch(configs)
+        assert len(batch) == 2
+        for config, result in zip(configs, batch):
+            exact = MonteCarloSampler(config).run()
+            assert result.mean_job_time == pytest.approx(exact.mean_job_time, rel=0.02)
+            assert result.mode == "monte-carlo"
+            assert result.num_jobs == config.num_jobs
+
+    def test_reproducible(self, paper_owner, light_owner):
+        configs = [
+            SimulationConfig(
+                workstations=5, task_demand=50, owner=owner, num_jobs=200, seed=33
+            )
+            for owner in (light_owner, paper_owner)
+        ]
+        a = MonteCarloSampler.run_batch(configs)
+        b = MonteCarloSampler.run_batch(configs)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.job_times, y.job_times)
+
+    def test_mixed_shapes_rejected(self, paper_owner):
+        configs = [
+            SimulationConfig(workstations=5, task_demand=50, owner=paper_owner, num_jobs=100),
+            SimulationConfig(workstations=6, task_demand=50, owner=paper_owner, num_jobs=100),
+        ]
+        with pytest.raises(ValueError, match="run_batch"):
+            MonteCarloSampler.run_batch(configs)
+
+    def test_fractional_demand_rejected(self, paper_owner):
+        configs = [
+            SimulationConfig(workstations=5, task_demand=50.5, owner=paper_owner, num_jobs=100),
+        ]
+        with pytest.raises(ValueError, match="integral task_demand"):
+            MonteCarloSampler.run_batch(configs)
+
+    def test_empty_batch(self):
+        assert MonteCarloSampler.run_batch([]) == []
+
+
 class TestRunSimulationDispatch:
     def test_all_modes_run(self, paper_owner):
         config = SimulationConfig(

@@ -1,0 +1,317 @@
+"""Tests for the sweep-execution engine: cache, runner, grids and CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.cluster import MonteCarloSampler, SimulationConfig, run_simulation
+from repro.core import OwnerSpec
+from repro.desim import StreamRegistry
+from repro.engine import (
+    GRID_NAMES,
+    ResultCache,
+    SweepRunner,
+    build_grid,
+    config_fingerprint,
+    grid_from_product,
+    grid_mode,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.experiments import run_simulation_validation
+
+
+@pytest.fixture
+def small_grid() -> list[SimulationConfig]:
+    return build_grid(
+        "fig01",
+        num_jobs=120,
+        num_batches=4,
+        workstation_counts=(5, 10),
+        utilizations=(0.05, 0.10),
+    )
+
+
+class TestConfigFingerprint:
+    def test_stable_for_equal_configs(self, paper_owner):
+        a = SimulationConfig(workstations=5, task_demand=100, owner=paper_owner, seed=7)
+        b = SimulationConfig(workstations=5, task_demand=100, owner=paper_owner, seed=7)
+        assert config_fingerprint(a, "monte-carlo") == config_fingerprint(b, "monte-carlo")
+
+    def test_differs_per_field_and_mode(self, paper_owner):
+        base = SimulationConfig(workstations=5, task_demand=100, owner=paper_owner, seed=7)
+        variants = [
+            SimulationConfig(workstations=6, task_demand=100, owner=paper_owner, seed=7),
+            SimulationConfig(workstations=5, task_demand=200, owner=paper_owner, seed=7),
+            SimulationConfig(workstations=5, task_demand=100, owner=paper_owner, seed=8),
+            SimulationConfig(
+                workstations=5,
+                task_demand=100,
+                owner=OwnerSpec(demand=10.0, utilization=0.2),
+                seed=7,
+            ),
+        ]
+        keys = {config_fingerprint(v, "monte-carlo") for v in variants}
+        keys.add(config_fingerprint(base, "monte-carlo"))
+        keys.add(config_fingerprint(base, "event-driven"))
+        assert len(keys) == len(variants) + 2
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, paper_owner):
+        cache = ResultCache(tmp_path / "cache")
+        config = SimulationConfig(
+            workstations=4, task_demand=50, owner=paper_owner, num_jobs=80, num_batches=4
+        )
+        result = run_simulation(config, "monte-carlo")
+        assert cache.load(config, "monte-carlo") is None
+        cache.store(config, "monte-carlo", result)
+        loaded = cache.load(config, "monte-carlo")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.job_times, result.job_times)
+        np.testing.assert_array_equal(loaded.task_times, result.task_times)
+        assert loaded.job_time_interval.interval.half_width == pytest.approx(
+            result.job_time_interval.interval.half_width
+        )
+        assert loaded.measured_owner_utilization is None
+        assert len(cache) == 1
+
+    def test_roundtrip_preserves_measured_utilization(self, tmp_path, paper_owner):
+        cache = ResultCache(tmp_path)
+        config = SimulationConfig(
+            workstations=2, task_demand=40, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        result = run_simulation(config, "event-driven")
+        assert result.measured_owner_utilization is not None
+        cache.store(config, "event-driven", result)
+        loaded = cache.load(config, "event-driven")
+        assert loaded.measured_owner_utilization == pytest.approx(
+            result.measured_owner_utilization
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, paper_owner):
+        cache = ResultCache(tmp_path)
+        config = SimulationConfig(
+            workstations=2, task_demand=40, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        cache.path_for(config, "monte-carlo").write_bytes(b"not an npz file")
+        assert cache.load(config, "monte-carlo") is None
+
+    def test_clear(self, tmp_path, paper_owner):
+        cache = ResultCache(tmp_path)
+        config = SimulationConfig(
+            workstations=2, task_demand=40, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        cache.store(config, "monte-carlo", run_simulation(config, "monte-carlo"))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestSweepRunner:
+    def test_serial_matches_direct_loop(self, small_grid):
+        outcome = SweepRunner(jobs=1).run(small_grid)
+        for config, result in zip(small_grid, outcome):
+            direct = run_simulation(config, "monte-carlo")
+            np.testing.assert_array_equal(result.job_times, direct.job_times)
+
+    def test_parallel_matches_serial_bitwise(self, small_grid):
+        serial = SweepRunner(jobs=1).run(small_grid)
+        parallel = SweepRunner(jobs=2).run(small_grid)
+        assert parallel.jobs == 2
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.job_times, b.job_times)
+            np.testing.assert_array_equal(a.task_times, b.task_times)
+
+    def test_cached_rerun_simulates_nothing(self, tmp_path, small_grid):
+        runner = SweepRunner(jobs=1, cache=tmp_path / "cache")
+        first = runner.run(small_grid)
+        assert first.simulated == len(small_grid) and first.cache_hits == 0
+        second = runner.run(small_grid)
+        assert second.simulated == 0 and second.cache_hits == len(small_grid)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.job_times, b.job_times)
+
+    def test_partial_cache_hits(self, tmp_path, small_grid):
+        runner = SweepRunner(jobs=1, cache=tmp_path)
+        runner.run(small_grid[:2])
+        outcome = runner.run(small_grid)
+        assert outcome.cache_hits == 2
+        assert outcome.simulated == len(small_grid) - 2
+
+    def test_cache_distinguishes_modes(self, tmp_path, paper_owner):
+        config = SimulationConfig(
+            workstations=3, task_demand=30, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        runner = SweepRunner(jobs=1, cache=tmp_path)
+        runner.run([config], mode="monte-carlo")
+        outcome = runner.run([config], mode="event-driven")
+        assert outcome.simulated == 1 and outcome.cache_hits == 0
+
+    def test_outcome_protocol(self, small_grid):
+        outcome = SweepRunner(jobs=1).run(small_grid)
+        assert len(outcome) == len(small_grid)
+        assert outcome[0].mode == "monte-carlo"
+        assert "simulated" in outcome.summary()
+
+    def test_run_experiment_by_name(self):
+        outcome = SweepRunner(jobs=1).run_experiment(
+            "fig01",
+            num_jobs=60,
+            num_batches=4,
+            workstation_counts=(5,),
+            utilizations=(0.1,),
+        )
+        assert len(outcome) == 1 and outcome.mode == "monte-carlo"
+
+    def test_run_vectorized_agrees_statistically(self, small_grid):
+        exact = SweepRunner(jobs=1).run(small_grid)
+        fast = SweepRunner(jobs=1).run_vectorized(small_grid)
+        assert len(fast) == len(exact)
+        for a, b in zip(exact, fast):
+            assert a.config is b.config
+            assert b.mean_job_time == pytest.approx(a.mean_job_time, rel=0.10)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+        assert resolve_jobs(None) >= 1
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, jobs=2) == [i * i for i in items]
+
+    def test_serial_fallback(self):
+        assert parallel_map(_square, [3], jobs=None) == [9]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestGrids:
+    def test_known_names(self):
+        assert "fig01" in GRID_NAMES and "validation" in GRID_NAMES
+        with pytest.raises(KeyError):
+            build_grid("fig99")
+        with pytest.raises(KeyError):
+            grid_mode("fig99")
+
+    def test_grid_shape_and_rounded_demands(self):
+        grid = build_grid("fig01", workstation_counts=(3, 7), utilizations=(0.1, 0.2))
+        assert len(grid) == 4
+        for config in grid:
+            # J=1000 split with ROUND always yields an integral task demand.
+            assert float(config.task_demand) == int(config.task_demand)
+
+    def test_scaled_grid_keeps_per_node_demand(self):
+        grid = build_grid("fig09", workstation_counts=(10, 50), utilizations=(0.1,))
+        assert all(config.task_demand == 100.0 for config in grid)
+
+    def test_per_point_seeds_are_stable_and_distinct(self):
+        a = build_grid("fig01", workstation_counts=(5, 10), utilizations=(0.05, 0.1))
+        b = build_grid("fig01", workstation_counts=(5, 10), utilizations=(0.05, 0.1))
+        assert [c.seed for c in a] == [c.seed for c in b]
+        assert len({c.seed for c in a}) == len(a)
+
+    def test_subsetting_preserves_point_seeds(self):
+        full = build_grid("fig01", workstation_counts=(5, 10), utilizations=(0.1,))
+        subset = build_grid("fig01", workstation_counts=(10,), utilizations=(0.1,))
+        assert subset[0].seed == full[1].seed
+
+    def test_base_seed_changes_points(self):
+        a = build_grid("fig01", workstation_counts=(5,), utilizations=(0.1,), seed=0)
+        b = build_grid("fig01", workstation_counts=(5,), utilizations=(0.1,), seed=1)
+        assert a[0].seed != b[0].seed
+
+    def test_product_requires_paired_axes(self):
+        with pytest.raises(ValueError):
+            grid_from_product("x", [10.0], [5, 10], [0.1])
+
+    def test_explicit_empty_axes_give_empty_grid(self):
+        assert build_grid("fig01", workstation_counts=()) == []
+        assert build_grid("fig01", utilizations=()) == []
+
+
+class TestDeriveSeed:
+    def test_independent_of_stream_usage(self):
+        fresh = StreamRegistry(42)
+        used = StreamRegistry(42)
+        used.stream("warmup")
+        assert fresh.derive_seed("point") == used.derive_seed("point")
+
+    def test_distinct_names_and_roots(self):
+        registry = StreamRegistry(42)
+        assert registry.derive_seed("a") != registry.derive_seed("b")
+        assert StreamRegistry(1).derive_seed("a") != StreamRegistry(2).derive_seed("a")
+
+
+class TestValidationThroughEngine:
+    def test_jobs_do_not_change_results(self):
+        kwargs = dict(
+            workstation_counts=(5, 10), utilizations=(0.1,), num_jobs=400
+        )
+        serial = run_simulation_validation(jobs=1, **kwargs)
+        parallel = run_simulation_validation(jobs=2, **kwargs)
+        for a, b in zip(serial, parallel):
+            assert a.simulated_job_time == b.simulated_job_time
+
+    def test_cache_dir_replays(self, tmp_path):
+        kwargs = dict(workstation_counts=(5,), utilizations=(0.1,), num_jobs=400)
+        first = run_simulation_validation(cache_dir=tmp_path, **kwargs)
+        second = run_simulation_validation(cache_dir=tmp_path, **kwargs)
+        assert first[0].simulated_job_time == second[0].simulated_job_time
+
+
+class TestSweepCli:
+    ARGS = [
+        "sweep",
+        "fig01",
+        "--num-jobs", "60",
+        "--workstations", "5,10",
+        "--utilizations", "0.1",
+        "--jobs", "1",
+        "--seed", "3",
+    ]
+
+    def test_smoke_with_cache(self, capsys, tmp_path):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 points (2 simulated, 0 cached)" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 points (0 simulated, 2 cached)" in out
+
+    def test_no_cache(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+        assert "[monte-carlo] W=5" in out
+
+    def test_unknown_grid(self, capsys):
+        assert main(["sweep", "fig99", "--no-cache"]) == 2
+        assert "unknown sweep grid" in capsys.readouterr().err
+
+    def test_bad_jobs_value(self, capsys):
+        assert main(self.ARGS[:2] + ["--no-cache", "--jobs", "0"]) == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_malformed_workstations_list(self, capsys):
+        args = ["sweep", "fig01", "--no-cache", "--workstations", "5,x"]
+        assert main(args) == 2
+        assert "invalid literal" in capsys.readouterr().err
+
+    def test_vectorized_path(self, capsys):
+        assert main(self.ARGS + ["--vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points (2 simulated, 0 cached)" in out
+        assert "cache:" not in out  # vectorized runs bypass the cache
+
+    def test_vectorized_rejects_other_backends(self, capsys):
+        args = self.ARGS + ["--vectorized", "--mode", "event-driven"]
+        assert main(args) == 2
+        assert "--vectorized only supports" in capsys.readouterr().err
