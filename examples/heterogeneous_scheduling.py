@@ -1,0 +1,92 @@
+"""Scenario showcase: heterogeneous owners and scheduling policies.
+
+The paper assumes every workstation is equally loaded and every task stays
+where it was placed.  This example relaxes both assumptions with the
+ScenarioSpec layer:
+
+1. concentrate a fixed cluster-average owner load on fewer machines and watch
+   the expected job time degrade (the busiest machine dominates the max),
+   cross-checking the Monte-Carlo backend against the product-CDF closed form;
+2. race the three scheduling policies (static / self-scheduling /
+   migrate-on-owner-arrival) on the same skewed cluster and see how work
+   redistribution claws back the loss.
+
+Run with:  python examples/heterogeneous_scheduling.py
+"""
+
+from repro.cluster import POLICY_NAMES, SimulationConfig, run_simulation
+from repro.core import (
+    HeterogeneousSystem,
+    ScenarioSpec,
+    concentrated_utilizations,
+    expected_job_time_heterogeneous,
+)
+
+WORKSTATIONS = 12
+JOB_DEMAND = 2400.0
+MEAN_UTILIZATION = 0.10
+OWNER_DEMAND = 10.0
+NUM_JOBS = 2000
+
+
+def concentration_study() -> ScenarioSpec:
+    task_demand = JOB_DEMAND / WORKSTATIONS
+    print(f"== load concentration (W={WORKSTATIONS}, mean U={MEAN_UTILIZATION:.0%}) ==")
+    print(f"{'level':>6} {'U_max':>6} {'analytic E_j':>13} {'simulated E_j':>14}")
+    most_skewed = None
+    for level in (0.0, 0.5, 1.0):
+        utilizations = concentrated_utilizations(
+            WORKSTATIONS, MEAN_UTILIZATION, level
+        )
+        scenario = ScenarioSpec.from_utilizations(utilizations, OWNER_DEMAND)
+        analytic = expected_job_time_heterogeneous(
+            int(task_demand), HeterogeneousSystem.from_scenario(scenario)
+        )
+        config = SimulationConfig.from_scenario(
+            scenario, task_demand=task_demand, num_jobs=NUM_JOBS, seed=7
+        )
+        simulated = run_simulation(config, "monte-carlo").mean_job_time
+        print(
+            f"{level:>6.2f} {scenario.max_utilization:>6.0%} "
+            f"{analytic:>13.2f} {simulated:>14.2f}"
+        )
+        most_skewed = scenario
+    print(
+        "Reading: the cluster-average idle capacity is identical in every row;\n"
+        "concentrating the same load on half the machines still slows the job.\n"
+    )
+    return most_skewed
+
+
+def policy_race(scenario: ScenarioSpec) -> None:
+    task_demand = JOB_DEMAND / WORKSTATIONS
+    print("== scheduling policies on the most skewed cluster (event-driven) ==")
+    baseline = None
+    for policy in POLICY_NAMES:
+        kwargs = {"chunks_per_station": 8} if policy == "self-scheduling" else None
+        config = SimulationConfig.from_scenario(
+            scenario.with_policy(policy, kwargs),
+            task_demand=task_demand,
+            num_jobs=400,
+            seed=11,
+        )
+        mean = run_simulation(config, "event-driven").mean_job_time
+        if baseline is None:
+            baseline = mean
+        print(
+            f"{policy:>26}: E_j = {mean:8.2f}"
+            f"  ({1.0 - mean / baseline:+.1%} vs static)"
+        )
+    print(
+        "\nReading: with half the machines idle, migrating or re-queueing work\n"
+        "around arriving owners recovers part of the static policy's loss."
+    )
+
+
+def main() -> None:
+    most_skewed = concentration_study()
+    policy_race(most_skewed)
+
+
+if __name__ == "__main__":
+    main()

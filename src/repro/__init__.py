@@ -37,6 +37,8 @@ from .core import (
     MetricSet,
     ModelEvaluation,
     OwnerSpec,
+    ScenarioSpec,
+    StationSpec,
     SystemSpec,
     TaskRounding,
     assess_feasibility,
@@ -78,6 +80,9 @@ __all__ = [
     "FeasibilityReport",
     "scaled_job_time",
     "response_time_inflation",
+    # scenario layer
+    "StationSpec",
+    "ScenarioSpec",
     # simulation
     "SimulationConfig",
     "SimulationResult",

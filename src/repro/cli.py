@@ -21,6 +21,12 @@ cached on disk, so a re-run replays instead of resimulating)::
 
     repro-experiments sweep fig01 --jobs 4 --cache-dir .repro-cache
     repro-experiments sweep validation --num-jobs 2000 --no-cache
+
+Scenario-parameterized grids: skew a fixed average owner load across the
+cluster, or race the task-scheduling policies on the event-driven backend::
+
+    repro-experiments sweep hetero-concentration --concentrations 0,0.5,1
+    repro-experiments sweep policy-compare --policies static,self-scheduling
 """
 
 from __future__ import annotations
@@ -119,7 +125,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--utilizations", default=None,
-        help="comma-separated owner utilizations overriding the grid's curves",
+        help=(
+            "comma-separated owner utilizations overriding the grid's curves "
+            "(cluster-average utilizations for hetero-concentration)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--concentrations", default=None,
+        help=(
+            "comma-separated load-concentration levels in [0, 1] "
+            "(hetero-concentration grid only)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--policies", default=None,
+        help=(
+            "comma-separated scheduling policies "
+            "(policy-compare grid only; see repro.cluster.POLICY_NAMES)"
+        ),
     )
     sweep_parser.add_argument(
         "--seed", type=int, default=0,
@@ -185,6 +208,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 overrides["utilizations"] = tuple(
                     float(u) for u in args.utilizations.split(",")
                 )
+            if args.concentrations:
+                overrides["concentration_levels"] = tuple(
+                    float(c) for c in args.concentrations.split(",")
+                )
+            if args.policies:
+                overrides["policies"] = tuple(args.policies.split(","))
             configs = build_grid(args.grid, **overrides)
             mode = args.mode or grid_mode(args.grid)
             if args.vectorized and mode != "monte-carlo":

@@ -8,6 +8,15 @@ study did.
 
 from .job import JobResult, TaskResult, balanced_tasks, imbalanced_tasks
 from .owner import OWNER_PRIORITY, TASK_PRIORITY, OwnerBehavior, owner_process
+from .policies import (
+    POLICIES,
+    POLICY_NAMES,
+    MigrateOnOwnerArrival,
+    SchedulingPolicy,
+    SelfScheduling,
+    StaticPartition,
+    make_policy,
+)
 from .simulation import (
     DiscreteTimeSimulator,
     EventDrivenClusterSimulator,
@@ -31,6 +40,13 @@ __all__ = [
     "TaskResult",
     "balanced_tasks",
     "imbalanced_tasks",
+    "SchedulingPolicy",
+    "StaticPartition",
+    "SelfScheduling",
+    "MigrateOnOwnerArrival",
+    "POLICIES",
+    "POLICY_NAMES",
+    "make_policy",
     "SimulationConfig",
     "SimulationResult",
     "DiscreteTimeSimulator",

@@ -1,0 +1,268 @@
+"""Pluggable task-scheduling policies for the event-driven cluster simulator.
+
+The paper's program statically assigns exactly one task per workstation and
+waits for the slowest one — the discipline its analysis models, kept here as
+:class:`StaticPartition`.  Its conclusion section points at scheduling as the
+lever for recovering the efficiency lost to owner interference, and this
+module supplies the two classic relaxations on the *same* simulated cluster:
+
+:class:`SelfScheduling`
+    A shared work queue of fixed-size chunks: stations pull the next chunk as
+    soon as they finish one, so a station stalled by its owner simply takes
+    fewer chunks.  This replaces the ad-hoc master/worker implementation that
+    previously lived behind the scheduling ablation on the PVM substrate.
+
+:class:`MigrateOnOwnerArrival`
+    Static placement, but the moment an owner preempts a task, the task's
+    remainder is re-queued to the least-loaded *idle* station (the one with
+    the lowest owner utilization); if every station is busy the task resumes
+    in place exactly like the static policy.
+
+Every policy executes one job as a :mod:`repro.desim` process generator whose
+return value is the tuple of per-task results, so the simulator's measurement
+loop is policy-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+import numpy as np
+
+from ..desim import Environment
+from .job import TaskResult
+from .workstation import Workstation
+
+__all__ = [
+    "SchedulingPolicy",
+    "StaticPartition",
+    "SelfScheduling",
+    "MigrateOnOwnerArrival",
+    "POLICIES",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+class SchedulingPolicy:
+    """Base interface: dispatch one job's demand across the workstations.
+
+    Subclasses implement :meth:`run_job`, a process generator that completes
+    when the whole job has, returning one :class:`TaskResult` per logical work
+    item.  Policies must be stateless across jobs (a new ``run_job`` generator
+    is created per job) and deterministic given the simulation state, so that
+    a run's randomness comes only from the owners and the placement stream.
+    """
+
+    name: str = "abstract"
+
+    def run_job(
+        self,
+        env: Environment,
+        stations: Sequence[Workstation],
+        demands: np.ndarray,
+    ) -> Generator:
+        raise NotImplementedError
+
+
+def _task_result(record) -> TaskResult:
+    return TaskResult(
+        workstation=record.workstation,
+        demand=record.demand,
+        start_time=record.start_time,
+        end_time=record.end_time,
+        preemptions=record.preemptions,
+    )
+
+
+@dataclass(frozen=True)
+class StaticPartition(SchedulingPolicy):
+    """The paper's discipline: one statically assigned task per workstation."""
+
+    name = "static"
+
+    def run_job(
+        self,
+        env: Environment,
+        stations: Sequence[Workstation],
+        demands: np.ndarray,
+    ) -> Generator:
+        procs = [
+            env.process(stations[w].execute_task(float(demands[w])))
+            for w in range(len(stations))
+        ]
+        yield env.all_of(procs)
+        return tuple(_task_result(proc.value) for proc in procs)
+
+
+@dataclass(frozen=True)
+class SelfScheduling(SchedulingPolicy):
+    """Dynamic self-scheduling over a shared chunk queue.
+
+    The job's total demand is split into ``chunks_per_station * W`` equal
+    chunks held in one queue; every station loops pulling the next chunk until
+    the queue drains.  Faster (less-interfered) stations automatically take
+    more of the work, which shrinks the makespan's dependence on the single
+    unluckiest station — the max-order-statistic effect the paper's static
+    analysis is dominated by.
+    """
+
+    name = "self-scheduling"
+    chunks_per_station: int = 4
+
+    def __post_init__(self) -> None:
+        if self.chunks_per_station < 1:
+            raise ValueError(
+                f"chunks_per_station must be >= 1, got {self.chunks_per_station!r}"
+            )
+
+    def run_job(
+        self,
+        env: Environment,
+        stations: Sequence[Workstation],
+        demands: np.ndarray,
+    ) -> Generator:
+        total = float(np.sum(demands))
+        num_chunks = self.chunks_per_station * len(stations)
+        queue = deque([total / num_chunks] * num_chunks)
+        fragments: list[list] = [[] for _ in stations]
+
+        def worker(w: int) -> Generator:
+            while queue:
+                chunk = queue.popleft()
+                record = yield from stations[w].execute_task(chunk)
+                fragments[w].append(record)
+
+        procs = [env.process(worker(w)) for w in range(len(stations))]
+        yield env.all_of(procs)
+        results = []
+        for w, records in enumerate(fragments):
+            if not records:
+                continue
+            # One aggregate result per station: its chunks run back to back.
+            results.append(
+                TaskResult(
+                    workstation=w,
+                    demand=float(sum(r.demand for r in records)),
+                    start_time=records[0].start_time,
+                    end_time=records[-1].end_time,
+                    preemptions=int(sum(r.preemptions for r in records)),
+                )
+            )
+        return tuple(results)
+
+
+class _MigrationItem:
+    """Mutable bookkeeping for one migratable work item (one per station)."""
+
+    __slots__ = ("demand", "remaining", "station", "start_time", "end_time",
+                 "preemptions", "migrations")
+
+    def __init__(self, demand: float, station: int) -> None:
+        self.demand = demand
+        self.remaining = demand
+        self.station = station
+        self.start_time: float | None = None
+        self.end_time = float("nan")
+        self.preemptions = 0
+        self.migrations = 0
+
+
+@dataclass(frozen=True)
+class MigrateOnOwnerArrival(SchedulingPolicy):
+    """Migrate a preempted task's remainder to the least-loaded idle station.
+
+    Placement starts out static (task ``w`` on station ``w``).  When an owner
+    arrives and preempts a task, the unfinished remainder is handed to an idle
+    station — idle meaning it carries no parallel work right now; its owner
+    may still show up there — choosing the one with the lowest owner
+    utilization (ties broken by index).  With no idle station the task simply
+    resumes in place, i.e. the policy degrades to :class:`StaticPartition`.
+    """
+
+    name = "migrate-on-owner-arrival"
+
+    def run_job(
+        self,
+        env: Environment,
+        stations: Sequence[Workstation],
+        demands: np.ndarray,
+    ) -> Generator:
+        active = [1] * len(stations)
+        items = [_MigrationItem(float(demands[w]), w) for w in range(len(stations))]
+
+        def pick_idle_station(current: int) -> int | None:
+            best: int | None = None
+            for index, station in enumerate(stations):
+                if index == current or active[index] > 0:
+                    continue
+                if best is None or (
+                    (station.owner.utilization, index)
+                    < (stations[best].owner.utilization, best)
+                ):
+                    best = index
+            return best
+
+        def run_item(item: _MigrationItem) -> Generator:
+            while item.remaining > 0:
+                record, remaining = yield from stations[item.station].execute_task_step(
+                    item.remaining
+                )
+                if item.start_time is None:
+                    item.start_time = record.start_time
+                item.preemptions += record.preemptions
+                item.remaining = remaining
+                if remaining <= 0:
+                    item.end_time = record.end_time
+                    active[item.station] -= 1
+                    return
+                target = pick_idle_station(item.station)
+                if target is not None:
+                    active[item.station] -= 1
+                    active[target] += 1
+                    item.station = target
+                    item.migrations += 1
+                # No idle station: resume in place, like the static policy.
+
+        procs = [env.process(run_item(item)) for item in items]
+        yield env.all_of(procs)
+        return tuple(
+            TaskResult(
+                workstation=item.station,
+                demand=item.demand,
+                start_time=float(item.start_time if item.start_time is not None else 0.0),
+                end_time=item.end_time,
+                preemptions=item.preemptions,
+            )
+            for item in items
+        )
+
+
+#: Registry of the built-in policies by canonical name.
+POLICIES: dict[str, type[SchedulingPolicy]] = {
+    StaticPartition.name: StaticPartition,
+    SelfScheduling.name: SelfScheduling,
+    MigrateOnOwnerArrival.name: MigrateOnOwnerArrival,
+}
+
+POLICY_NAMES: tuple[str, ...] = tuple(POLICIES)
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by name.
+
+    Numeric keyword values are coerced to the annotated field types where
+    possible (``chunks_per_station`` arrives as a float when round-tripped
+    through a :class:`~repro.core.params.ScenarioSpec`'s canonical kwargs).
+    """
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; known policies: {sorted(POLICIES)}"
+        ) from None
+    if "chunks_per_station" in kwargs:
+        kwargs["chunks_per_station"] = int(kwargs["chunks_per_station"])
+    return cls(**kwargs)

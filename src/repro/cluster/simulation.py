@@ -34,14 +34,17 @@ import numpy as np
 
 from ..core.analytical import evaluate_inputs
 from ..core.params import (
+    STATIC_POLICY,
     ModelInputs,
     OwnerSpec,
+    ScenarioSpec,
     request_probability_to_utilization,
 )
 from ..desim import Environment, StreamRegistry
 from ..stats import BatchMeansResult, batch_means_interval, summarize_replications
-from .job import JobResult, TaskResult, balanced_tasks, imbalanced_tasks
+from .job import JobResult, balanced_tasks, imbalanced_tasks
 from .owner import OwnerBehavior
+from .policies import make_policy
 from .workstation import Workstation
 
 __all__ = [
@@ -60,14 +63,25 @@ __all__ = [
 class SimulationConfig:
     """Configuration shared by all cluster-simulation back-ends.
 
+    Without a ``scenario``, this is the paper's homogeneous model (every
+    workstation shares ``owner``, the static one-task-per-station discipline)
+    and the config acts as a thin convenience constructor over
+    :class:`~repro.core.params.ScenarioSpec` — :attr:`effective_scenario`
+    builds the equivalent ``W``-identical-stations scenario, and the back-ends
+    consume only that.  Passing an explicit
+    :class:`~repro.core.params.ScenarioSpec` unlocks heterogeneous owners and
+    non-static scheduling policies on the same back-ends.
+
     Attributes
     ----------
     workstations:
-        Number of workstations ``W`` (one task each).
+        Number of workstations ``W`` (must match the scenario, if given).
     task_demand:
         Per-task demand ``T`` in time units.
     owner:
-        Analytical owner spec (demand ``O`` plus utilization / ``P``).
+        Analytical owner spec (demand ``O`` plus utilization / ``P``).  With a
+        heterogeneous scenario this is only the representative (first)
+        station's owner; reporting uses the scenario's per-station specs.
     num_jobs:
         Number of job completions to sample.  The paper uses
         20 batches x 1000 samples = 20 000.
@@ -85,6 +99,10 @@ class SimulationConfig:
     imbalance:
         Relative task-demand imbalance for the event-driven backend
         (0 = perfectly balanced, the paper's assumption).
+    scenario:
+        Optional generalized scenario (per-station owners, scheduling
+        policy).  ``None`` means the homogeneous scenario implied by the
+        fields above.
     """
 
     workstations: int
@@ -97,6 +115,7 @@ class SimulationConfig:
     owner_demand_kind: str = "deterministic"
     owner_demand_kwargs: dict = field(default_factory=dict)
     imbalance: float = 0.0
+    scenario: ScenarioSpec | None = None
 
     def __post_init__(self) -> None:
         if self.workstations < 1:
@@ -114,6 +133,70 @@ class SimulationConfig:
             )
         if not 0.0 <= self.imbalance < 1.0:
             raise ValueError(f"imbalance must be in [0, 1), got {self.imbalance!r}")
+        if self.scenario is not None:
+            if self.scenario.workstations != self.workstations:
+                raise ValueError(
+                    f"scenario has {self.scenario.workstations} stations but "
+                    f"workstations={self.workstations}; build the config via "
+                    "SimulationConfig.from_scenario to keep them in sync"
+                )
+            if self.imbalance != self.scenario.imbalance:
+                if self.imbalance != 0.0:
+                    raise ValueError(
+                        f"conflicting imbalance: config says {self.imbalance!r}, "
+                        f"scenario says {self.scenario.imbalance!r}"
+                    )
+                object.__setattr__(self, "imbalance", self.scenario.imbalance)
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: ScenarioSpec,
+        task_demand: float,
+        *,
+        num_jobs: int = 2000,
+        num_batches: int = 20,
+        confidence: float = 0.90,
+        seed: int = 0,
+    ) -> "SimulationConfig":
+        """Build a config around an explicit scenario.
+
+        The legacy homogeneous fields are filled from the scenario's first
+        station so rendering helpers keep working; the back-ends read the
+        scenario itself.
+        """
+        first = scenario.stations[0]
+        return cls(
+            workstations=scenario.workstations,
+            task_demand=task_demand,
+            owner=first.owner,
+            num_jobs=num_jobs,
+            num_batches=num_batches,
+            confidence=confidence,
+            seed=seed,
+            owner_demand_kind=first.demand_kind,
+            owner_demand_kwargs=dict(first.demand_kwargs),
+            imbalance=scenario.imbalance,
+            scenario=scenario,
+        )
+
+    @property
+    def effective_scenario(self) -> ScenarioSpec:
+        """The scenario the back-ends execute.
+
+        Either the explicit :attr:`scenario`, or the homogeneous
+        ``W``-identical-stations scenario implied by the legacy fields.
+        """
+        if self.scenario is not None:
+            return self.scenario
+        return ScenarioSpec.homogeneous(
+            self.workstations,
+            self.owner,
+            demand_kind=self.owner_demand_kind,
+            demand_kwargs=self.owner_demand_kwargs,
+            policy=STATIC_POLICY,
+            imbalance=self.imbalance,
+        )
 
     @property
     def job_demand(self) -> float:
@@ -122,14 +205,17 @@ class SimulationConfig:
 
     @property
     def nominal_owner_utilization(self) -> float:
-        """Owner utilization ``U``, derived via Eq. 8 when the spec gives ``P``.
+        """Nominal owner utilization ``U`` used for reporting and metrics.
 
-        :class:`OwnerSpec` currently derives both forms at construction, but
-        its ``utilization`` field is typed ``float | None``; this accessor
-        guarantees a number under that contract so result reporting never
-        depends on which form the caller used (or on the spec's eager
-        derivation remaining in place).
+        For a heterogeneous scenario this is the cluster-average utilization
+        (the convention of the analytical extension in
+        :mod:`repro.core.heterogeneous`); for the homogeneous case it is the
+        owner's ``U``, derived via Eq. 8 when the spec was given as a request
+        probability so a probability-specified owner is never silently
+        treated as ``U = 0``.
         """
+        if self.scenario is not None and not self.scenario.is_homogeneous:
+            return self.scenario.mean_utilization
         if self.owner.utilization is not None:
             return float(self.owner.utilization)
         assert self.owner.request_probability is not None
@@ -139,7 +225,17 @@ class SimulationConfig:
 
     @property
     def model_inputs(self) -> ModelInputs:
-        """The analytical-model inputs corresponding to this configuration."""
+        """The analytical-model inputs corresponding to this configuration.
+
+        Only defined for homogeneous scenarios — the paper's closed forms
+        take a single ``(O, P)`` pair.  Heterogeneous scenarios are evaluated
+        against :mod:`repro.core.heterogeneous` instead.
+        """
+        if self.scenario is not None and not self.scenario.is_homogeneous:
+            raise ValueError(
+                "model_inputs is only defined for homogeneous scenarios; use "
+                "repro.core.heterogeneous for per-station owner specs"
+            )
         assert self.owner.request_probability is not None
         return ModelInputs(
             task_demand=self.task_demand,
@@ -198,13 +294,40 @@ class SimulationResult:
 
     def summary(self) -> str:
         ci = self.job_time_interval.interval
+        scenario = self.config.effective_scenario
+        extras = ""
+        if not scenario.is_homogeneous:
+            extras += f" U_max={scenario.max_utilization:.3f}"
+        if scenario.policy != STATIC_POLICY:
+            extras += f" policy={scenario.policy}"
         return (
             f"[{self.mode}] W={self.config.workstations} T={self.config.task_demand} "
-            f"U={self.config.nominal_owner_utilization:.3f}: "
+            f"U={self.config.nominal_owner_utilization:.3f}{extras}: "
             f"E_t≈{self.mean_task_time:.2f}, E_j≈{self.mean_job_time:.2f} "
             f"± {ci.half_width:.2f} ({ci.confidence:.0%} CI, "
             f"{self.num_jobs} jobs)"
         )
+
+
+def _static_scenario(config: SimulationConfig, mode: str) -> ScenarioSpec:
+    """Resolve a config's scenario for a model-faithful (discrete) backend.
+
+    The discrete-time walk and the Monte-Carlo sampler implement the paper's
+    closed-form model, which has no notion of work redistribution — only the
+    static one-task-per-station policy is expressible.  (Per-station *owners*
+    are fine: the model's job time is the max of independent, not necessarily
+    identically distributed, task times.)  As with the homogeneous config,
+    these back-ends use each owner's mean demand; ``demand_kind`` shapes only
+    the event-driven backend.
+    """
+    scenario = config.effective_scenario
+    if scenario.policy != STATIC_POLICY:
+        raise ValueError(
+            f"the {mode} backend models the paper's static one-task-per-"
+            f"station discipline; scheduling policy {scenario.policy!r} "
+            "requires the event-driven backend"
+        )
+    return scenario
 
 
 def _integral_task_demand(task_demand: float, mode: str) -> int:
@@ -262,15 +385,18 @@ class DiscreteTimeSimulator:
     def run(self) -> SimulationResult:
         """Simulate ``num_jobs`` independent jobs and return the estimates."""
         cfg = self.config
-        assert cfg.owner.request_probability is not None
-        p = cfg.owner.request_probability
+        scenario = _static_scenario(cfg, self.mode)
+        probabilities = [station.request_probability for station in scenario.stations]
+        demands = [station.owner.demand for station in scenario.stations]
         rng = self._streams.stream("discrete-time")
         t = _integral_task_demand(cfg.task_demand, self.mode)
         job_times = np.empty(cfg.num_jobs, dtype=np.float64)
         task_times = np.empty((cfg.num_jobs, cfg.workstations), dtype=np.float64)
         for j in range(cfg.num_jobs):
             for w in range(cfg.workstations):
-                task_time, _ = simulate_task_discrete(t, cfg.owner.demand, p, rng)
+                task_time, _ = simulate_task_discrete(
+                    t, demands[w], probabilities[w], rng
+                )
                 task_times[j, w] = task_time
             job_times[j] = task_times[j].max()
         return SimulationResult(
@@ -294,22 +420,33 @@ class MonteCarloSampler:
         self._streams = StreamRegistry(config.seed)
 
     def sample_interruptions(self, num_jobs: int | None = None) -> np.ndarray:
-        """Sample the per-task interruption counts, shape ``(num_jobs, W)``."""
+        """Sample the per-task interruption counts, shape ``(num_jobs, W)``.
+
+        Station ``w``'s count is ``Binomial(T, P_w)``; for a homogeneous
+        scenario all stations share one ``P`` and the draw is bit-for-bit the
+        classic homogeneous sample (numpy consumes the stream identically for
+        a scalar and an equal-valued vector ``p``).
+        """
         cfg = self.config
-        assert cfg.owner.request_probability is not None
+        scenario = _static_scenario(cfg, self.mode)
+        probabilities = np.array(
+            [station.request_probability for station in scenario.stations]
+        )
         rng = self._streams.stream("monte-carlo")
         n = num_jobs if num_jobs is not None else cfg.num_jobs
         t = _integral_task_demand(cfg.task_demand, self.mode)
-        return rng.binomial(
-            t, cfg.owner.request_probability, size=(n, cfg.workstations)
-        )
+        return rng.binomial(t, probabilities, size=(n, cfg.workstations))
 
     def run(self) -> SimulationResult:
         """Sample ``num_jobs`` jobs and return the estimates."""
         cfg = self.config
+        scenario = _static_scenario(cfg, self.mode)
+        owner_demands = np.array(
+            [station.owner.demand for station in scenario.stations]
+        )
         t = _integral_task_demand(cfg.task_demand, self.mode)
         interruptions = self.sample_interruptions()
-        task_times = t + interruptions * cfg.owner.demand
+        task_times = t + interruptions * owner_demands
         job_times = task_times.max(axis=1).astype(np.float64)
         return SimulationResult(
             config=cfg,
@@ -333,9 +470,11 @@ class MonteCarloSampler:
         under ``k`` different owner request probabilities; this path stacks
         those probabilities and draws the full ``(k, num_jobs, W)`` binomial
         interruption tensor in one vectorised numpy call instead of ``k``
-        separate sampler runs.  Statistically identical to per-config
-        :meth:`run` calls but *not* bitwise (the batch shares a single
-        stream seeded from ``seed``, default: the first config's seed).
+        separate sampler runs.  Heterogeneous (static-policy) scenarios
+        batch too: each config contributes its per-station probability row.
+        Statistically identical to per-config :meth:`run` calls but *not*
+        bitwise (the batch shares a single stream seeded from ``seed``,
+        default: the first config's seed).
         """
         if not configs:
             return []
@@ -356,12 +495,17 @@ class MonteCarloSampler:
                 )
         streams = StreamRegistry(seed if seed is not None else first.seed)
         rng = streams.stream("monte-carlo-batch")
-        probabilities = np.empty((len(configs), 1, 1), dtype=np.float64)
-        demands = np.empty((len(configs), 1, 1), dtype=np.float64)
+        workstations = first.workstations
+        probabilities = np.empty((len(configs), 1, workstations), dtype=np.float64)
+        demands = np.empty((len(configs), 1, workstations), dtype=np.float64)
         for i, cfg in enumerate(configs):
-            assert cfg.owner.request_probability is not None
-            probabilities[i, 0, 0] = cfg.owner.request_probability
-            demands[i, 0, 0] = cfg.owner.demand
+            scenario = _static_scenario(cfg, cls.mode)
+            probabilities[i, 0, :] = [
+                station.request_probability for station in scenario.stations
+            ]
+            demands[i, 0, :] = [
+                station.owner.demand for station in scenario.stations
+            ]
         interruptions = rng.binomial(
             t,
             probabilities,
@@ -401,12 +545,11 @@ class EventDrivenClusterSimulator:
         self._streams = StreamRegistry(config.seed)
 
     def _build_cluster(self, env: Environment) -> list[Workstation]:
-        cfg = self.config
-        behavior = OwnerBehavior.from_spec(
-            cfg.owner, cfg.owner_demand_kind, **cfg.owner_demand_kwargs
-        )
         stations = []
-        for w in range(cfg.workstations):
+        for w, spec in enumerate(self.config.effective_scenario.stations):
+            behavior = OwnerBehavior.from_spec(
+                spec.owner, spec.demand_kind, **dict(spec.demand_kwargs)
+            )
             station = Workstation(
                 env, w, behavior, self._streams.stream(f"owner-{w}")
             )
@@ -417,6 +560,8 @@ class EventDrivenClusterSimulator:
     def run(self) -> SimulationResult:
         """Run ``num_jobs`` back-to-back jobs on a persistent cluster."""
         cfg = self.config
+        scenario = cfg.effective_scenario
+        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
         env = Environment()
         stations = self._build_cluster(env)
         placement_rng = self._streams.stream("placement")
@@ -429,26 +574,12 @@ class EventDrivenClusterSimulator:
             start = env.now
             demands = (
                 balanced_tasks(cfg.job_demand, cfg.workstations)
-                if cfg.imbalance == 0.0
+                if scenario.imbalance == 0.0
                 else imbalanced_tasks(
-                    cfg.job_demand, cfg.workstations, cfg.imbalance, placement_rng
+                    cfg.job_demand, cfg.workstations, scenario.imbalance, placement_rng
                 )
             )
-            procs = [
-                env.process(stations[w].execute_task(float(demands[w])))
-                for w in range(cfg.workstations)
-            ]
-            yield env.all_of(procs)
-            tasks = tuple(
-                TaskResult(
-                    workstation=proc.value.workstation,
-                    demand=proc.value.demand,
-                    start_time=proc.value.start_time,
-                    end_time=proc.value.end_time,
-                    preemptions=proc.value.preemptions,
-                )
-                for proc in procs
-            )
+            tasks = yield from policy.run_job(env, stations, demands)
             results.append(JobResult(job_id=job_id, start_time=start, tasks=tasks))
 
         def driver():

@@ -25,6 +25,7 @@ from .analytical import (
 from .heterogeneous import (
     HeterogeneousEvaluation,
     HeterogeneousSystem,
+    concentrated_utilizations,
     concentration_comparison,
     evaluate_heterogeneous,
     expected_job_time_heterogeneous,
@@ -61,9 +62,12 @@ from .metrics import (
     weighted_speedup,
 )
 from .params import (
+    STATIC_POLICY,
     JobSpec,
     ModelInputs,
     OwnerSpec,
+    ScenarioSpec,
+    StationSpec,
     SystemSpec,
     TaskRounding,
     request_probability_to_utilization,
@@ -84,6 +88,9 @@ __all__ = [
     # params
     "JobSpec",
     "OwnerSpec",
+    "StationSpec",
+    "ScenarioSpec",
+    "STATIC_POLICY",
     "SystemSpec",
     "ModelInputs",
     "TaskRounding",
@@ -119,6 +126,7 @@ __all__ = [
     "heterogeneous_job_time_distribution",
     "expected_job_time_heterogeneous",
     "evaluate_heterogeneous",
+    "concentrated_utilizations",
     "concentration_comparison",
     "sweep_workstations",
     "sweep_utilizations",

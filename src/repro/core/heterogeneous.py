@@ -25,7 +25,7 @@ from numpy.typing import NDArray
 from .analytical import expected_task_time
 from .distributions import binomial_cdf
 from .metrics import weighted_efficiency as _weighted_efficiency
-from .params import OwnerSpec
+from .params import OwnerSpec, ScenarioSpec
 
 __all__ = [
     "HeterogeneousSystem",
@@ -33,6 +33,7 @@ __all__ = [
     "expected_job_time_heterogeneous",
     "HeterogeneousEvaluation",
     "evaluate_heterogeneous",
+    "concentrated_utilizations",
     "concentration_comparison",
 ]
 
@@ -70,6 +71,11 @@ class HeterogeneousSystem:
                 OwnerSpec(demand=owner_demand, utilization=float(u)) for u in utilizations
             )
         )
+
+    @classmethod
+    def from_scenario(cls, scenario: ScenarioSpec) -> "HeterogeneousSystem":
+        """The analytical view of a simulation :class:`ScenarioSpec`."""
+        return cls(owners=scenario.owners)
 
     @property
     def workstations(self) -> int:
@@ -206,6 +212,39 @@ def evaluate_heterogeneous(
     )
 
 
+def concentrated_utilizations(
+    workstations: int,
+    mean_utilization: float,
+    level: float,
+) -> list[float]:
+    """Per-workstation utilizations concentrating a fixed average load.
+
+    At ``level`` 0 every workstation carries ``mean_utilization``; at 1 half
+    the workstations carry double the average and the rest make up the
+    difference (idle when ``W`` is even).  Intermediate levels interpolate.
+    The cluster-wide average is the same for every level.
+    """
+    if workstations < 2:
+        raise ValueError("load concentration needs at least two workstations")
+    if not 0.0 <= mean_utilization < 0.5:
+        raise ValueError(
+            "mean_utilization must be in [0, 0.5) so the busy half stays below "
+            f"100% utilization; got {mean_utilization!r}"
+        )
+    if not 0.0 <= level <= 1.0:
+        raise ValueError(f"concentration level must be in [0, 1], got {level!r}")
+    if level == 0.0:
+        # Exactly homogeneous — skip the rebalancing arithmetic so no float
+        # round-off sneaks into the "no skew" reference point.
+        return [mean_utilization] * workstations
+    half = workstations // 2
+    high = mean_utilization * (1.0 + level)
+    low_count = workstations - half
+    # Keep the cluster-wide average utilization fixed.
+    low = (mean_utilization * workstations - high * half) / low_count
+    return [high] * half + [low] * low_count
+
+
 def concentration_comparison(
     job_demand: float,
     workstations: int,
@@ -221,23 +260,9 @@ def concentration_comparison(
     Returns one evaluation per concentration level, showing how load skew
     degrades the job time even though the average idle capacity is unchanged.
     """
-    if workstations < 2:
-        raise ValueError("concentration comparison needs at least two workstations")
-    if not 0.0 <= mean_utilization < 0.5:
-        raise ValueError(
-            "mean_utilization must be in [0, 0.5) so the busy half stays below "
-            f"100% utilization; got {mean_utilization!r}"
-        )
     results: dict[float, HeterogeneousEvaluation] = {}
-    half = workstations // 2
     for level in concentration_levels:
-        if not 0.0 <= level <= 1.0:
-            raise ValueError(f"concentration levels must be in [0, 1], got {level!r}")
-        high = mean_utilization * (1.0 + level)
-        low_count = workstations - half
-        # Keep the cluster-wide average utilization fixed.
-        low = (mean_utilization * workstations - high * half) / low_count
-        utilizations = [high] * half + [low] * low_count
+        utilizations = concentrated_utilizations(workstations, mean_utilization, level)
         system = HeterogeneousSystem.from_utilizations(utilizations, owner_demand)
         results[float(level)] = evaluate_heterogeneous(job_demand, system)
     return results

@@ -31,11 +31,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 __all__ = [
     "TaskRounding",
     "OwnerSpec",
+    "StationSpec",
+    "ScenarioSpec",
+    "STATIC_POLICY",
     "JobSpec",
     "SystemSpec",
     "ModelInputs",
@@ -43,6 +46,12 @@ __all__ = [
     "request_probability_to_utilization",
     "split_job_demand",
 ]
+
+#: Name of the paper's task-scheduling discipline (one statically assigned
+#: task per workstation).  The canonical policy names live in
+#: :mod:`repro.cluster.policies`; this one is needed by the core layer because
+#: the model-faithful (discrete) simulation back-ends support only it.
+STATIC_POLICY = "static"
 
 
 class TaskRounding(str, Enum):
@@ -217,6 +226,216 @@ class OwnerSpec:
     def with_utilization(self, utilization: float) -> "OwnerSpec":
         """Return a copy with a different utilization (same demand)."""
         return OwnerSpec(demand=self.demand, utilization=utilization)
+
+
+def _freeze_kwargs(
+    kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None,
+) -> tuple[tuple[str, float], ...]:
+    """Canonicalise keyword parameters into a hashable, order-stable form.
+
+    Accepts a mapping or an iterable of pairs and returns sorted
+    ``(name, value)`` tuples so two specs built from differently ordered
+    dictionaries compare (and fingerprint) equal.
+    """
+    if kwargs is None:
+        return ()
+    items = kwargs.items() if isinstance(kwargs, Mapping) else kwargs
+    return tuple(sorted((str(k), float(v)) for k, v in items))
+
+
+@dataclass(frozen=True)
+class StationSpec:
+    """One workstation of a (possibly heterogeneous) scenario.
+
+    Attributes
+    ----------
+    owner:
+        The analytical owner spec of this workstation (demand ``O_i`` plus
+        utilization / request probability ``P_i``).
+    demand_kind:
+        Distribution family of the owner demand in the event-driven backend
+        ("deterministic", "exponential", "hyperexponential", ...).  The
+        model-faithful discrete back-ends always use the mean demand, exactly
+        as they did for the homogeneous ``SimulationConfig``.
+    demand_kwargs:
+        Extra distribution parameters (e.g. ``squared_cv``), stored as sorted
+        ``(name, value)`` pairs so the spec stays hashable and fingerprints
+        deterministically; dicts are accepted and canonicalised.
+    """
+
+    owner: OwnerSpec
+    demand_kind: str = "deterministic"
+    demand_kwargs: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "demand_kwargs", _freeze_kwargs(self.demand_kwargs))
+
+    @property
+    def utilization(self) -> float:
+        """Owner utilization ``U_i`` of this station."""
+        u = self.owner.utilization
+        assert u is not None
+        return float(u)
+
+    @property
+    def request_probability(self) -> float:
+        """Owner request probability ``P_i`` of this station."""
+        p = self.owner.request_probability
+        assert p is not None
+        return float(p)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A simulation scenario: per-workstation owners, placement and scheduling.
+
+    This is the generalised description the simulation back-ends consume.  The
+    paper's model is the special case of ``W`` identical stations, a balanced
+    task split and the static one-task-per-station policy — which is exactly
+    what :class:`~repro.cluster.simulation.SimulationConfig` builds when no
+    scenario is given, so every homogeneous experiment reduces to this layer
+    bitwise.
+
+    Attributes
+    ----------
+    stations:
+        One :class:`StationSpec` per workstation (system size is the length).
+    policy:
+        Task-scheduling policy name, resolved by
+        :func:`repro.cluster.policies.make_policy` in the event-driven
+        backend.  The discrete back-ends support only :data:`STATIC_POLICY`.
+    policy_kwargs:
+        Policy parameters (e.g. ``chunks_per_station`` for self-scheduling),
+        canonicalised like :attr:`StationSpec.demand_kwargs`.
+    imbalance:
+        Relative task-demand imbalance of the placement (0 = the paper's
+        perfectly balanced split), used by the event-driven backend.
+    """
+
+    stations: tuple[StationSpec, ...]
+    policy: str = STATIC_POLICY
+    policy_kwargs: tuple[tuple[str, float], ...] = ()
+    imbalance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.stations:
+            raise ValueError("a scenario needs at least one workstation")
+        object.__setattr__(self, "stations", tuple(self.stations))
+        for station in self.stations:
+            if not isinstance(station, StationSpec):
+                raise TypeError(
+                    f"stations must be StationSpec instances, got {station!r}"
+                )
+        if not self.policy:
+            raise ValueError("policy must be a non-empty name")
+        object.__setattr__(self, "policy_kwargs", _freeze_kwargs(self.policy_kwargs))
+        if not 0.0 <= self.imbalance < 1.0:
+            raise ValueError(f"imbalance must be in [0, 1), got {self.imbalance!r}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        workstations: int,
+        owner: OwnerSpec,
+        *,
+        demand_kind: str = "deterministic",
+        demand_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
+        policy: str = STATIC_POLICY,
+        policy_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
+        imbalance: float = 0.0,
+    ) -> "ScenarioSpec":
+        """The paper's homogeneous cluster expressed as a scenario."""
+        if workstations < 1:
+            raise ValueError(f"workstations must be >= 1, got {workstations!r}")
+        station = StationSpec(
+            owner=owner, demand_kind=demand_kind, demand_kwargs=_freeze_kwargs(demand_kwargs)
+        )
+        return cls(
+            stations=tuple([station] * workstations),
+            policy=policy,
+            policy_kwargs=_freeze_kwargs(policy_kwargs),
+            imbalance=imbalance,
+        )
+
+    @classmethod
+    def from_owners(
+        cls,
+        owners: Sequence[OwnerSpec],
+        *,
+        demand_kind: str = "deterministic",
+        policy: str = STATIC_POLICY,
+        policy_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
+        imbalance: float = 0.0,
+    ) -> "ScenarioSpec":
+        """One station per owner spec, all sharing one demand-distribution kind."""
+        return cls(
+            stations=tuple(
+                StationSpec(owner=owner, demand_kind=demand_kind) for owner in owners
+            ),
+            policy=policy,
+            policy_kwargs=_freeze_kwargs(policy_kwargs),
+            imbalance=imbalance,
+        )
+
+    @classmethod
+    def from_utilizations(
+        cls,
+        utilizations: Sequence[float],
+        owner_demand: float = 10.0,
+        **kwargs,
+    ) -> "ScenarioSpec":
+        """Build a scenario from a per-workstation owner-utilization vector."""
+        owners = [
+            OwnerSpec(demand=owner_demand, utilization=float(u)) for u in utilizations
+        ]
+        return cls.from_owners(owners, **kwargs)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def workstations(self) -> int:
+        """System size ``W``."""
+        return len(self.stations)
+
+    @property
+    def owners(self) -> tuple[OwnerSpec, ...]:
+        """The per-workstation owner specs (for the analytical extension)."""
+        return tuple(station.owner for station in self.stations)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every station is identical (the paper's assumption)."""
+        return all(station == self.stations[0] for station in self.stations[1:])
+
+    @property
+    def mean_utilization(self) -> float:
+        """Cluster-average owner utilization.
+
+        For a homogeneous scenario this returns the station's utilization
+        *exactly* (no float summation round-off), so the homogeneous reduction
+        stays bitwise-identical to the legacy path.
+        """
+        utilizations = [station.utilization for station in self.stations]
+        first = utilizations[0]
+        if all(u == first for u in utilizations[1:]):
+            return first
+        return float(sum(utilizations) / len(utilizations))
+
+    @property
+    def max_utilization(self) -> float:
+        return max(station.utilization for station in self.stations)
+
+    def with_policy(
+        self,
+        policy: str,
+        policy_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
+    ) -> "ScenarioSpec":
+        """Copy of this scenario under a different scheduling policy."""
+        return replace(
+            self, policy=policy, policy_kwargs=_freeze_kwargs(policy_kwargs)
+        )
 
 
 @dataclass(frozen=True)

@@ -31,8 +31,13 @@ from ..stats import batch_means_interval
 
 __all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
 
-#: Bump when the on-disk layout or the fingerprint payload changes.
-CACHE_VERSION = 1
+#: Fingerprint schema version.  Bump when the on-disk layout or the
+#: fingerprint payload changes — a bump changes every digest, so entries
+#: written under an older schema can never silently replay.  Schema 2 added
+#: the scenario fields (per-station owners, scheduling policy), without which
+#: a schema-1 entry keyed only on the representative owner could replay for a
+#: heterogeneous or non-static point it never simulated.
+CACHE_VERSION = 2
 
 
 def config_fingerprint(config: SimulationConfig, mode: str) -> str:
@@ -40,31 +45,41 @@ def config_fingerprint(config: SimulationConfig, mode: str) -> str:
 
     Every field that affects the sampled output enters the payload; floats are
     serialized via ``repr`` round-tripping JSON so equal configs always map to
-    the same key.
+    the same key.  The per-station scenario enters through its *effective*
+    form, so a homogeneous ``ScenarioSpec`` and the equivalent legacy config
+    share one cache entry.
     """
+    scenario = config.effective_scenario
     payload = {
-        "version": CACHE_VERSION,
+        "schema": CACHE_VERSION,
         "mode": str(mode),
         "workstations": int(config.workstations),
         "task_demand": float(config.task_demand),
-        "owner_demand": float(config.owner.demand),
-        "owner_utilization": (
-            None if config.owner.utilization is None else float(config.owner.utilization)
-        ),
-        "request_probability": (
-            None
-            if config.owner.request_probability is None
-            else float(config.owner.request_probability)
-        ),
         "num_jobs": int(config.num_jobs),
         "num_batches": int(config.num_batches),
         "confidence": float(config.confidence),
         "seed": int(config.seed),
-        "owner_demand_kind": str(config.owner_demand_kind),
-        "owner_demand_kwargs": sorted(
-            (str(k), float(v)) for k, v in config.owner_demand_kwargs.items()
-        ),
-        "imbalance": float(config.imbalance),
+        "stations": [
+            {
+                "owner_demand": float(station.owner.demand),
+                "owner_utilization": (
+                    None
+                    if station.owner.utilization is None
+                    else float(station.owner.utilization)
+                ),
+                "request_probability": (
+                    None
+                    if station.owner.request_probability is None
+                    else float(station.owner.request_probability)
+                ),
+                "demand_kind": str(station.demand_kind),
+                "demand_kwargs": [list(pair) for pair in station.demand_kwargs],
+            }
+            for station in scenario.stations
+        ],
+        "policy": str(scenario.policy),
+        "policy_kwargs": [list(pair) for pair in scenario.policy_kwargs],
+        "imbalance": float(scenario.imbalance),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

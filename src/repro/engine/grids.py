@@ -11,15 +11,21 @@ yet the whole sweep reproduces from a single integer.
 Figures 1–6 share the fixed-job-size grid (``J`` constant, ``W`` swept, one
 curve per owner utilization); Figure 9 uses the scaled-workload grid (constant
 per-node demand ``T``); ``validation`` is the Section-2.2 grid at the paper's
-20 × 1000 sampling effort.
+20 × 1000 sampling effort.  Two scenario-parameterized families go beyond the
+paper: ``hetero-concentration`` skews a fixed average owner load across the
+cluster (the heterogeneous extension of :mod:`repro.core.heterogeneous`), and
+``policy-compare`` runs the same cluster under each task-scheduling policy of
+:mod:`repro.cluster.policies` on the event-driven backend.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from ..cluster.policies import POLICY_NAMES
 from ..cluster.simulation import SimulationConfig
-from ..core.params import OwnerSpec, TaskRounding, split_job_demand
+from ..core.heterogeneous import concentrated_utilizations
+from ..core.params import OwnerSpec, ScenarioSpec, TaskRounding, split_job_demand
 from ..desim import StreamRegistry
 
 __all__ = ["GRID_NAMES", "build_grid", "grid_mode", "grid_from_product"]
@@ -30,27 +36,39 @@ _PAPER_UTILIZATIONS: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20)
 #: Default workstation counts: the Section-2.2 validation x-axis.
 _DEFAULT_WORKSTATIONS: tuple[int, ...] = (1, 5, 10, 20, 40, 60, 80, 100)
 
-#: name -> (kind, demand, default num_jobs); ``fixed`` reads demand as the
-#: total job size ``J``, ``scaled`` as the constant per-node demand ``T``.
-_GRIDS: dict[str, tuple[str, float, int]] = {
-    "fig01": ("fixed", 1000.0, 2000),
-    "fig02": ("fixed", 1000.0, 2000),
-    "fig03": ("fixed", 1000.0, 2000),
-    "fig04": ("fixed", 1000.0, 2000),
-    "fig05": ("fixed", 10_000.0, 2000),
-    "fig06": ("fixed", 10_000.0, 2000),
-    "fig09": ("scaled", 100.0, 2000),
-    "validation": ("fixed", 1000.0, 20_000),
+#: Concentration levels of the heterogeneous grid (0 = homogeneous,
+#: 1 = half the machines doubly loaded, half idle).
+_DEFAULT_CONCENTRATIONS: tuple[float, ...] = (0.0, 0.5, 1.0)
+
+#: Workstation counts for the scenario families (kept modest: the policy
+#: grid runs on the event-driven backend, which walks every preemption).
+_SCENARIO_WORKSTATIONS: tuple[int, ...] = (8, 16, 32)
+
+#: name -> (kind, demand, default num_jobs, backend mode); ``fixed`` reads
+#: demand as the total job size ``J``, ``scaled`` as the constant per-node
+#: demand ``T``; ``concentration`` and ``policy`` are ``fixed``-demand
+#: scenario families.
+_GRIDS: dict[str, tuple[str, float, int, str]] = {
+    "fig01": ("fixed", 1000.0, 2000, "monte-carlo"),
+    "fig02": ("fixed", 1000.0, 2000, "monte-carlo"),
+    "fig03": ("fixed", 1000.0, 2000, "monte-carlo"),
+    "fig04": ("fixed", 1000.0, 2000, "monte-carlo"),
+    "fig05": ("fixed", 10_000.0, 2000, "monte-carlo"),
+    "fig06": ("fixed", 10_000.0, 2000, "monte-carlo"),
+    "fig09": ("scaled", 100.0, 2000, "monte-carlo"),
+    "validation": ("fixed", 1000.0, 20_000, "monte-carlo"),
+    "hetero-concentration": ("concentration", 1000.0, 2000, "monte-carlo"),
+    "policy-compare": ("policy", 1000.0, 400, "event-driven"),
 }
 
 GRID_NAMES: tuple[str, ...] = tuple(_GRIDS)
 
 
 def grid_mode(name: str) -> str:
-    """Simulation backend for a named grid (all paper grids use Monte-Carlo)."""
+    """Simulation backend for a named grid."""
     if name not in _GRIDS:
         raise KeyError(f"unknown sweep grid {name!r}; known grids: {sorted(_GRIDS)}")
-    return "monte-carlo"
+    return _GRIDS[name][3]
 
 
 def grid_from_product(
@@ -101,6 +119,107 @@ def grid_from_product(
     return configs
 
 
+def _concentration_grid(
+    name: str,
+    job_demand: float,
+    workstation_counts: Sequence[int],
+    mean_utilizations: Sequence[float],
+    concentration_levels: Sequence[float],
+    *,
+    owner_demand: float,
+    num_jobs: int,
+    num_batches: int,
+    confidence: float,
+    seed: int,
+) -> list[SimulationConfig]:
+    """Heterogeneous family: same average owner load, increasingly skewed.
+
+    One point per ``(mean U, W, concentration level)``; every point is a
+    static-policy scenario whose per-station utilizations come from
+    :func:`~repro.core.heterogeneous.concentrated_utilizations`, so the
+    Monte-Carlo backend samples the non-identically distributed task times
+    the product-CDF closed form describes.
+    """
+    streams = StreamRegistry(seed)
+    configs: list[SimulationConfig] = []
+    for utilization in mean_utilizations:
+        for workstations in workstation_counts:
+            task_demand = split_job_demand(
+                job_demand, int(workstations), TaskRounding.ROUND
+            )
+            for level in concentration_levels:
+                scenario = ScenarioSpec.from_utilizations(
+                    concentrated_utilizations(
+                        int(workstations), float(utilization), float(level)
+                    ),
+                    owner_demand=owner_demand,
+                )
+                point_seed = streams.derive_seed(
+                    f"{name}/U={float(utilization):g}/W={int(workstations)}"
+                    f"/T={float(task_demand):g}/c={float(level):g}"
+                )
+                configs.append(
+                    SimulationConfig.from_scenario(
+                        scenario,
+                        task_demand=task_demand,
+                        num_jobs=num_jobs,
+                        num_batches=num_batches,
+                        confidence=confidence,
+                        seed=point_seed,
+                    )
+                )
+    return configs
+
+
+def _policy_grid(
+    name: str,
+    job_demand: float,
+    workstation_counts: Sequence[int],
+    utilizations: Sequence[float],
+    policies: Sequence[str],
+    *,
+    owner_demand: float,
+    num_jobs: int,
+    num_batches: int,
+    confidence: float,
+    seed: int,
+) -> list[SimulationConfig]:
+    """Policy family: the same homogeneous cluster under each dispatch policy."""
+    for policy in policies:
+        if policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown scheduling policy {policy!r}; "
+                f"known policies: {sorted(POLICY_NAMES)}"
+            )
+    streams = StreamRegistry(seed)
+    configs: list[SimulationConfig] = []
+    for utilization in utilizations:
+        owner = OwnerSpec(demand=owner_demand, utilization=float(utilization))
+        for workstations in workstation_counts:
+            task_demand = split_job_demand(
+                job_demand, int(workstations), TaskRounding.ROUND
+            )
+            for policy in policies:
+                scenario = ScenarioSpec.homogeneous(
+                    int(workstations), owner, policy=str(policy)
+                )
+                point_seed = streams.derive_seed(
+                    f"{name}/U={float(utilization):g}/W={int(workstations)}"
+                    f"/T={float(task_demand):g}/policy={policy}"
+                )
+                configs.append(
+                    SimulationConfig.from_scenario(
+                        scenario,
+                        task_demand=task_demand,
+                        num_jobs=num_jobs,
+                        num_batches=num_batches,
+                        confidence=confidence,
+                        seed=point_seed,
+                    )
+                )
+    return configs
+
+
 def build_grid(
     name: str,
     *,
@@ -111,34 +230,84 @@ def build_grid(
     num_batches: int = 20,
     confidence: float = 0.90,
     seed: int = 0,
+    concentration_levels: Sequence[float] | None = None,
+    policies: Sequence[str] | None = None,
 ) -> list[SimulationConfig]:
-    """Build the config list of a named grid (dimensions overridable)."""
+    """Build the config list of a named grid (dimensions overridable).
+
+    ``concentration_levels`` applies only to the ``hetero-concentration``
+    family (where ``utilizations`` are the *cluster-average* utilizations) and
+    ``policies`` only to ``policy-compare``; passing either for a grid that
+    has no such axis raises ``ValueError``.
+    """
     try:
-        kind, demand, default_jobs = _GRIDS[name]
+        kind, demand, default_jobs, _ = _GRIDS[name]
     except KeyError:
         raise KeyError(
             f"unknown sweep grid {name!r}; known grids: {sorted(_GRIDS)}"
         ) from None
-    if workstation_counts is None:
-        workstation_counts = _DEFAULT_WORKSTATIONS
+    if concentration_levels is not None and kind != "concentration":
+        raise ValueError(
+            f"grid {name!r} has no concentration axis (only hetero-concentration does)"
+        )
+    if policies is not None and kind != "policy":
+        raise ValueError(
+            f"grid {name!r} has no policy axis (only policy-compare does)"
+        )
     if utilizations is None:
-        utilizations = _PAPER_UTILIZATIONS
-    counts = tuple(int(w) for w in workstation_counts)
+        utilizations = _PAPER_UTILIZATIONS if kind != "concentration" else (0.10,)
     utils = tuple(float(u) for u in utilizations)
+    jobs = num_jobs if num_jobs is not None else default_jobs
+    common = dict(
+        owner_demand=owner_demand,
+        num_jobs=jobs,
+        num_batches=num_batches,
+        confidence=confidence,
+        seed=seed,
+    )
+    if kind == "concentration":
+        counts = tuple(
+            int(w)
+            for w in (
+                workstation_counts
+                if workstation_counts is not None
+                else _SCENARIO_WORKSTATIONS
+            )
+        )
+        levels = tuple(
+            float(c)
+            for c in (
+                concentration_levels
+                if concentration_levels is not None
+                else _DEFAULT_CONCENTRATIONS
+            )
+        )
+        return _concentration_grid(name, demand, counts, utils, levels, **common)
+    if kind == "policy":
+        counts = tuple(
+            int(w)
+            for w in (
+                workstation_counts
+                if workstation_counts is not None
+                else _SCENARIO_WORKSTATIONS
+            )
+        )
+        chosen = tuple(
+            str(p) for p in (policies if policies is not None else POLICY_NAMES)
+        )
+        return _policy_grid(name, demand, counts, utils, chosen, **common)
+    counts = tuple(
+        int(w)
+        for w in (
+            workstation_counts
+            if workstation_counts is not None
+            else _DEFAULT_WORKSTATIONS
+        )
+    )
     if kind == "fixed":
         task_demands = [
             split_job_demand(demand, w, TaskRounding.ROUND) for w in counts
         ]
     else:
         task_demands = [demand] * len(counts)
-    return grid_from_product(
-        name,
-        task_demands,
-        counts,
-        utils,
-        owner_demand=owner_demand,
-        num_jobs=num_jobs if num_jobs is not None else default_jobs,
-        num_batches=num_batches,
-        confidence=confidence,
-        seed=seed,
-    )
+    return grid_from_product(name, task_demands, counts, utils, **common)

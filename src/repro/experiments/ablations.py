@@ -14,8 +14,14 @@ substrate:
 * :func:`sim_mode_agreement` — cross-check that the three simulation back-ends
   and the analytical model agree where their assumptions coincide.
 * :func:`scheduling_ablation` — static one-task-per-node partitioning (the
-  paper's program) vs dynamic self-scheduling over the same cluster, showing
-  how work queues recover part of the efficiency lost to owner interference.
+  paper's program) vs the dynamic policies of :mod:`repro.cluster.policies`
+  (self-scheduling, migrate-on-owner-arrival) over the same event-driven
+  cluster, showing how work redistribution recovers part of the efficiency
+  lost to owner interference.
+* :func:`heterogeneity_ablation` — skewing a fixed average owner load across
+  the cluster, simulated through the scenario-parameterized Monte-Carlo
+  backend and cross-checked against the product-CDF closed forms with the
+  batch-means confidence interval.
 """
 
 from __future__ import annotations
@@ -23,13 +29,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from ..cluster import SimulationConfig, run_simulation
 from ..core.analytical import evaluate_inputs
-from ..core.params import OwnerSpec
+from ..core.heterogeneous import (
+    HeterogeneousSystem,
+    concentrated_utilizations,
+    evaluate_heterogeneous,
+)
+from ..core.params import OwnerSpec, ScenarioSpec, TaskRounding, split_job_demand
+from ..desim import StreamRegistry
 from ..engine import SweepRunner
-from ..pvm import VirtualMachine, run_local_computation, run_self_scheduling
 
 __all__ = [
     "AblationRow",
@@ -199,40 +208,62 @@ def scheduling_ablation(
     chunks_per_worker: int = 8,
     replications: int = 5,
     seed: int = 29,
+    jobs: int | None = 1,
 ) -> dict[str, float]:
-    """Static one-task-per-node vs dynamic self-scheduling on the PVM substrate.
+    """Static one-task-per-node vs the dynamic scheduling policies.
 
-    Both variants execute the same total demand on the same non-dedicated
-    cluster; the dynamic variant splits the job into
-    ``chunks_per_worker * workstations`` chunks handed out on demand.  Returns
-    the mean makespan of each and the relative improvement.
+    All variants execute the same total demand on the *same* event-driven
+    cluster (identical owner-arrival streams per seed), differing only in the
+    scenario's scheduling policy: the paper's static partitioning,
+    self-scheduling over ``chunks_per_worker * workstations`` queue chunks,
+    and migrate-on-owner-arrival.  Each policy's makespan mean is taken over
+    ``replications`` consecutive jobs on a persistent cluster (so the samples
+    share the cluster's owner phases — a paired comparison, not independent
+    replications); returns the mean makespans and the relative improvement of
+    each dynamic policy over static.  (This replaced an earlier one-off
+    master/worker implementation on the PVM substrate — the policies now live
+    in :mod:`repro.cluster.policies`, expressible for any scenario.)
     """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications!r}")
     owner = OwnerSpec(demand=owner_demand, utilization=utilization)
-    static_times: list[float] = []
-    dynamic_times: list[float] = []
-    for replication in range(replications):
-        vm_static = VirtualMachine(
-            num_hosts=workstations, owner=owner, seed=seed + replication
+    task_demand = job_demand / workstations
+    base = ScenarioSpec.homogeneous(workstations, owner)
+    scenarios = {
+        "static": base,
+        "self-scheduling": base.with_policy(
+            "self-scheduling", {"chunks_per_station": chunks_per_worker}
+        ),
+        "migrate-on-owner-arrival": base.with_policy("migrate-on-owner-arrival"),
+    }
+    configs = [
+        SimulationConfig.from_scenario(
+            scenario,
+            task_demand=task_demand,
+            # The backend needs >= 2 jobs for its batch-means interval; the
+            # reported means still cover exactly `replications` jobs.
+            num_jobs=max(int(replications), 2),
+            num_batches=2,
+            seed=seed,
         )
-        static_result = run_local_computation(vm_static, job_demand=job_demand)
-        static_times.append(static_result.max_task_time)
-
-        vm_dynamic = VirtualMachine(
-            num_hosts=workstations, owner=owner, seed=seed + 1000 + replication
-        )
-        dynamic_result = run_self_scheduling(
-            vm_dynamic, job_demand=job_demand, chunks_per_worker=chunks_per_worker
-        )
-        dynamic_times.append(dynamic_result.makespan)
-    static_mean = float(np.mean(static_times))
-    dynamic_mean = float(np.mean(dynamic_times))
+        for scenario in scenarios.values()
+    ]
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="event-driven")
+    means = {
+        name: float(result.job_times[: int(replications)].mean())
+        for name, result in zip(scenarios, outcome)
+    }
+    static_mean = means["static"]
+    dynamic_mean = means["self-scheduling"]
     return {
         "job_demand": job_demand,
         "workstations": float(workstations),
         "utilization": utilization,
         "static_mean_makespan": static_mean,
         "dynamic_mean_makespan": dynamic_mean,
+        "migration_mean_makespan": means["migrate-on-owner-arrival"],
         "improvement": 1.0 - dynamic_mean / static_mean,
+        "migration_improvement": 1.0 - means["migrate-on-owner-arrival"] / static_mean,
         "replications": float(replications),
     }
 
@@ -245,6 +276,9 @@ def heterogeneity_ablation(
     concentration_levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     monte_carlo_jobs: int = 4000,
     seed: int = 37,
+    jobs: int | None = 1,
+    num_batches: int = 20,
+    confidence: float = 0.90,
 ) -> list[AblationRow]:
     """Effect of skewing the owner load across the cluster (homogeneity relaxed).
 
@@ -252,41 +286,45 @@ def heterogeneity_ablation(
     load is spread over the machines changes (concentration 0 = the paper's
     homogeneous case, 1 = half the machines idle, half doubly loaded).  The
     analytic value comes from the heterogeneous max-order-statistic extension
-    (:mod:`repro.core.heterogeneous`); a direct Monte-Carlo sample of the same
-    configuration cross-checks it.
+    (:mod:`repro.core.heterogeneous`); the cross-check runs the *same*
+    scenario through the real Monte-Carlo backend (via the sweep engine, one
+    :class:`~repro.core.params.ScenarioSpec` point per level) and reports the
+    agreement through the shared batch-means confidence-interval machinery —
+    ``ci_half_width`` is the 90% half-width and ``analytic_within_ci`` flags
+    whether the closed form falls inside the simulated interval.
     """
-    import numpy as np
-
-    from ..core.heterogeneous import concentration_comparison
-
-    rng = np.random.default_rng(seed)
-    comparisons = concentration_comparison(
-        job_demand,
-        workstations,
-        mean_utilization,
-        concentration_levels,
-        owner_demand,
-    )
+    # The Monte-Carlo backend needs an integral T (binomial trial count); the
+    # analytic side is evaluated at the *same* rounded workload so both
+    # columns of every row describe one job, not two slightly different ones.
+    task_demand = split_job_demand(job_demand, workstations, TaskRounding.ROUND)
+    effective_job_demand = task_demand * workstations
+    streams = StreamRegistry(seed)
+    levels = [float(level) for level in concentration_levels]
+    scenarios = [
+        ScenarioSpec.from_utilizations(
+            concentrated_utilizations(workstations, mean_utilization, level),
+            owner_demand=owner_demand,
+        )
+        for level in levels
+    ]
+    configs = [
+        SimulationConfig.from_scenario(
+            scenario,
+            task_demand=task_demand,
+            num_jobs=monte_carlo_jobs,
+            num_batches=num_batches,
+            confidence=confidence,
+            seed=streams.derive_seed(f"heterogeneity/c={level:g}"),
+        )
+        for level, scenario in zip(levels, scenarios)
+    ]
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="monte-carlo")
     rows: list[AblationRow] = []
-    task_demand = job_demand / workstations
-    trials = int(round(task_demand))
-    for level in concentration_levels:
-        evaluation = comparisons[float(level)]
-        # Monte-Carlo cross-check: sample per-workstation interruption counts
-        # with the concentration's per-machine request probabilities.
-        half = workstations // 2
-        high = mean_utilization * (1.0 + level)
-        low = (mean_utilization * workstations - high * half) / (workstations - half)
-        probabilities = np.array(
-            [
-                OwnerSpec(demand=owner_demand, utilization=u).request_probability
-                for u in ([high] * half + [low] * (workstations - half))
-            ]
+    for level, scenario, result in zip(levels, scenarios, outcome):
+        evaluation = evaluate_heterogeneous(
+            effective_job_demand, HeterogeneousSystem.from_scenario(scenario)
         )
-        interruptions = rng.binomial(
-            trials, probabilities, size=(monte_carlo_jobs, workstations)
-        )
-        simulated = float((trials + owner_demand * interruptions.max(axis=1)).mean())
+        interval = result.job_time_interval.interval
         rows.append(
             AblationRow(
                 label=f"concentration={level:g}",
@@ -295,7 +333,12 @@ def heterogeneity_ablation(
                     "workstations": float(workstations),
                     "max_utilization": evaluation.max_utilization,
                     "utilization_spread": evaluation.utilization_spread,
-                    "monte_carlo_job_time": simulated,
+                    "monte_carlo_job_time": result.mean_job_time,
+                    "ci_half_width": interval.half_width,
+                    "ci_relative_half_width": interval.relative_half_width,
+                    "analytic_within_ci": float(
+                        interval.contains(evaluation.expected_job_time)
+                    ),
                 },
                 mean_job_time=evaluation.expected_job_time,
                 weighted_efficiency=evaluation.weighted_efficiency,

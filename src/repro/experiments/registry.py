@@ -102,13 +102,15 @@ EXPERIMENTS: Mapping[str, Experiment] = {
         ),
         Experiment(
             "ablation-heterogeneity",
-            "Heterogeneous owner load: same average utilization, increasing skew",
+            "Heterogeneous owner load: same average utilization, increasing skew "
+            "(analytic extension vs the scenario-parameterized Monte-Carlo backend)",
             ablations.heterogeneity_ablation,
             kind="ablation",
         ),
         Experiment(
             "ablation-scheduling",
-            "Static partitioning vs dynamic self-scheduling on the PVM substrate",
+            "Scheduling policies on the event-driven cluster: static partitioning "
+            "vs self-scheduling vs migrate-on-owner-arrival",
             ablations.scheduling_ablation,
             kind="ablation",
         ),

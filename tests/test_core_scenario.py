@@ -1,0 +1,107 @@
+"""Tests for the ScenarioSpec layer in :mod:`repro.core.params`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    STATIC_POLICY,
+    HeterogeneousSystem,
+    OwnerSpec,
+    ScenarioSpec,
+    StationSpec,
+    concentrated_utilizations,
+)
+
+
+class TestStationSpec:
+    def test_defaults_and_views(self, paper_owner):
+        station = StationSpec(owner=paper_owner)
+        assert station.demand_kind == "deterministic"
+        assert station.demand_kwargs == ()
+        assert station.utilization == pytest.approx(0.10)
+        assert station.request_probability == paper_owner.request_probability
+
+    def test_kwargs_canonicalised_from_dict(self, paper_owner):
+        a = StationSpec(owner=paper_owner, demand_kind="hyperexponential",
+                        demand_kwargs={"squared_cv": 4.0})
+        b = StationSpec(owner=paper_owner, demand_kind="hyperexponential",
+                        demand_kwargs=(("squared_cv", 4.0),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.demand_kwargs == (("squared_cv", 4.0),)
+
+
+class TestScenarioSpec:
+    def test_homogeneous_constructor(self, paper_owner):
+        scenario = ScenarioSpec.homogeneous(5, paper_owner)
+        assert scenario.workstations == 5
+        assert scenario.is_homogeneous
+        assert scenario.policy == STATIC_POLICY
+        assert scenario.mean_utilization == paper_owner.utilization
+        assert scenario.owners == tuple([paper_owner] * 5)
+
+    def test_mean_utilization_is_exact_for_identical_stations(self, paper_owner):
+        # 0.1 + 0.1 + 0.1 != 0.3 in binary floats; the homogeneous fast path
+        # must return the station utilization itself, not a round-tripped mean.
+        scenario = ScenarioSpec.homogeneous(3, paper_owner)
+        assert scenario.mean_utilization == paper_owner.utilization
+
+    def test_from_utilizations(self):
+        scenario = ScenarioSpec.from_utilizations([0.0, 0.1, 0.3], owner_demand=8.0)
+        assert scenario.workstations == 3
+        assert not scenario.is_homogeneous
+        assert scenario.max_utilization == pytest.approx(0.3)
+        assert scenario.mean_utilization == pytest.approx((0.0 + 0.1 + 0.3) / 3)
+        assert all(o.demand == 8.0 for o in scenario.owners)
+
+    def test_with_policy(self, paper_owner):
+        base = ScenarioSpec.homogeneous(4, paper_owner)
+        dynamic = base.with_policy("self-scheduling", {"chunks_per_station": 8})
+        assert dynamic.policy == "self-scheduling"
+        assert dynamic.policy_kwargs == (("chunks_per_station", 8.0),)
+        assert dynamic.stations == base.stations
+        assert base.policy == STATIC_POLICY  # original unchanged
+
+    def test_validation(self, paper_owner):
+        with pytest.raises(ValueError):
+            ScenarioSpec(stations=())
+        with pytest.raises(TypeError):
+            ScenarioSpec(stations=(paper_owner,))  # OwnerSpec is not a station
+        with pytest.raises(ValueError):
+            ScenarioSpec.homogeneous(0, paper_owner)
+        with pytest.raises(ValueError):
+            ScenarioSpec.homogeneous(2, paper_owner, imbalance=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec.homogeneous(2, paper_owner, policy="")
+
+    def test_heterogeneous_system_adapter(self):
+        scenario = ScenarioSpec.from_utilizations([0.05, 0.2], owner_demand=10.0)
+        system = HeterogeneousSystem.from_scenario(scenario)
+        assert system.owners == scenario.owners
+        assert system.workstations == 2
+
+
+class TestConcentratedUtilizations:
+    def test_level_zero_is_homogeneous(self):
+        values = concentrated_utilizations(6, 0.1, 0.0)
+        assert values == [0.1] * 6
+
+    def test_level_one_halves_the_cluster(self):
+        values = concentrated_utilizations(6, 0.1, 1.0)
+        assert values[:3] == [pytest.approx(0.2)] * 3
+        assert values[3:] == [pytest.approx(0.0)] * 3
+
+    def test_mean_is_preserved(self):
+        for level in (0.0, 0.25, 0.5, 1.0):
+            for workstations in (4, 7):
+                values = concentrated_utilizations(workstations, 0.12, level)
+                assert sum(values) / workstations == pytest.approx(0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concentrated_utilizations(1, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            concentrated_utilizations(4, 0.6, 0.5)
+        with pytest.raises(ValueError):
+            concentrated_utilizations(4, 0.1, 1.5)
