@@ -27,6 +27,13 @@ cluster, or race the task-scheduling policies on the event-driven backend::
 
     repro-experiments sweep hetero-concentration --concentrations 0,0.5,1
     repro-experiments sweep policy-compare --policies static,self-scheduling
+
+Open the system: a Poisson stream of competing parallel jobs at the given
+fractions of each point's saturation throughput (queueing metrics instead of
+standalone job times)::
+
+    repro-experiments sweep arrival-sweep --arrival-rates 0.25,0.5,0.75
+    repro-experiments run open_system
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from .experiments import (
     list_experiments,
 )
 from .experiments.ablations import AblationRow
+from .experiments.open_system import QueueingRow
 
 __all__ = ["build_parser", "main"]
 
@@ -112,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--mode", default=None,
-        choices=("monte-carlo", "discrete-time", "event-driven"),
+        choices=("monte-carlo", "discrete-time", "event-driven", "open-system"),
         help="simulation backend (default: the grid's backend)",
     )
     sweep_parser.add_argument(
@@ -145,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--arrival-rates", default=None,
+        help=(
+            "comma-separated normalized job-arrival rates in (0, 1) — "
+            "fractions of each point's saturation throughput "
+            "(arrival-sweep grid only)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--seed", type=int, default=0,
         help="base seed from which every point's seed is derived (default 0)",
     )
@@ -170,7 +186,9 @@ def _render_result(result: object, *, csv: bool, max_rows: int) -> str:
         lines = [format_mapping(f"point {i}", p.as_dict()) for i, p in enumerate(result)]
         lines.append(format_mapping("agreement", agreement_summary(result)))
         return "\n".join(lines)
-    if isinstance(result, list) and result and isinstance(result[0], AblationRow):
+    if isinstance(result, list) and result and isinstance(
+        result[0], (AblationRow, QueueingRow)
+    ):
         return "\n".join(format_mapping(row.label, row.as_dict()) for row in result)
     return repr(result) + "\n"
 
@@ -214,6 +232,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             if args.policies:
                 overrides["policies"] = tuple(args.policies.split(","))
+            if args.arrival_rates:
+                overrides["arrival_rates"] = tuple(
+                    float(r) for r in args.arrival_rates.split(",")
+                )
             configs = build_grid(args.grid, **overrides)
             mode = args.mode or grid_mode(args.grid)
             if args.vectorized and mode != "monte-carlo":

@@ -6,7 +6,13 @@ samplers used to validate the analytical model exactly as the paper's CSIM
 study did.
 """
 
-from .job import JobResult, TaskResult, balanced_tasks, imbalanced_tasks
+from .job import (
+    JobResult,
+    OpenJobRecord,
+    TaskResult,
+    balanced_tasks,
+    imbalanced_tasks,
+)
 from .owner import OWNER_PRIORITY, TASK_PRIORITY, OwnerBehavior, owner_process
 from .policies import (
     POLICIES,
@@ -21,6 +27,8 @@ from .simulation import (
     DiscreteTimeSimulator,
     EventDrivenClusterSimulator,
     MonteCarloSampler,
+    OpenSystemResult,
+    OpenSystemSimulator,
     SimulationConfig,
     SimulationResult,
     run_simulation,
@@ -37,6 +45,7 @@ __all__ = [
     "Workstation",
     "TaskExecution",
     "JobResult",
+    "OpenJobRecord",
     "TaskResult",
     "balanced_tasks",
     "imbalanced_tasks",
@@ -52,6 +61,8 @@ __all__ = [
     "DiscreteTimeSimulator",
     "MonteCarloSampler",
     "EventDrivenClusterSimulator",
+    "OpenSystemSimulator",
+    "OpenSystemResult",
     "run_simulation",
     "simulate_task_discrete",
     "validate_against_analysis",

@@ -24,6 +24,7 @@ __all__ = [
     "imbalanced_tasks",
     "TaskResult",
     "JobResult",
+    "OpenJobRecord",
 ]
 
 
@@ -132,3 +133,50 @@ class JobResult:
         if self.max_task_time <= 0:
             raise ValueError("job has non-positive max task time")
         return single_node_time / self.max_task_time
+
+
+@dataclass
+class OpenJobRecord:
+    """One job of an open-system (job-stream) run, from arrival to completion.
+
+    Unlike :class:`JobResult` — which describes a closed-system job whose
+    service starts the moment the previous job finishes — an open-system job
+    *arrives*, possibly waits in the admission queue behind other jobs, is
+    dispatched onto the cluster, and completes.  The queueing metrics of the
+    open-system simulator (response time, waiting time, slowdown) all derive
+    from this record.
+    """
+
+    job_id: int
+    arrival_time: float
+    demand: float
+    start_time: float = float("nan")
+    end_time: float = float("nan")
+    tasks: tuple[TaskResult, ...] = ()
+
+    @property
+    def completed(self) -> bool:
+        return not np.isnan(self.end_time)
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent queued before the cluster started the job."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Makespan of the job on the cluster (the closed-system job time)."""
+        return self.end_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        """Arrival-to-completion time — the open system's primary metric."""
+        return self.end_time - self.arrival_time
+
+    def slowdown(self, ideal_service_time: float) -> float:
+        """Response time relative to the job's ideal (uncontended) makespan."""
+        if ideal_service_time <= 0:
+            raise ValueError(
+                f"ideal_service_time must be positive, got {ideal_service_time!r}"
+            )
+        return self.response_time / ideal_service_time

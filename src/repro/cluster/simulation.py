@@ -23,11 +23,20 @@ Three simulation back-ends are provided, in increasing order of generality:
     arrives, deterministic owner demands, at most one request per unit of
     work) and therefore supports the paper's "future work" ablations:
     owner-demand variance and task imbalance.
+
+``OpenSystemSimulator``
+    The event-driven cluster under a *stream* of parallel jobs
+    (:class:`~repro.core.params.JobArrivalSpec`): jobs arrive over time,
+    queue for admission and compete for the same non-dedicated stations.
+    Where the closed back-ends estimate standalone job time, this one
+    estimates steady-state queueing metrics — response time, slowdown,
+    throughput, utilization — with warmup truncation and batch means.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Literal, Sequence
 
 import numpy as np
@@ -35,14 +44,21 @@ import numpy as np
 from ..core.analytical import evaluate_inputs
 from ..core.params import (
     STATIC_POLICY,
+    JobArrivalSpec,
     ModelInputs,
     OwnerSpec,
     ScenarioSpec,
     request_probability_to_utilization,
 )
-from ..desim import Environment, StreamRegistry
-from ..stats import BatchMeansResult, batch_means_interval, summarize_replications
-from .job import JobResult, balanced_tasks, imbalanced_tasks
+from ..desim import Environment, Resource, StreamRegistry, make_variate
+from ..stats import (
+    BatchMeansResult,
+    batch_means_interval,
+    steady_state_interval,
+    summarize_replications,
+    warmup_truncate,
+)
+from .job import JobResult, OpenJobRecord, balanced_tasks, imbalanced_tasks
 from .owner import OwnerBehavior
 from .policies import make_policy
 from .workstation import Workstation
@@ -50,10 +66,12 @@ from .workstation import Workstation
 __all__ = [
     "SimulationConfig",
     "SimulationResult",
+    "OpenSystemResult",
     "simulate_task_discrete",
     "DiscreteTimeSimulator",
     "MonteCarloSampler",
     "EventDrivenClusterSimulator",
+    "OpenSystemSimulator",
     "run_simulation",
     "validate_against_analysis",
 ]
@@ -126,7 +144,13 @@ class SimulationConfig:
             raise ValueError(f"num_jobs must be >= 1, got {self.num_jobs!r}")
         if self.num_batches < 2:
             raise ValueError(f"num_batches must be >= 2, got {self.num_batches!r}")
-        if self.num_jobs < self.num_batches:
+        if self.num_jobs < self.num_batches and not (
+            self.scenario is not None and self.scenario.is_open
+        ):
+            # Closed back-ends always form a batch-means CI over num_jobs
+            # observations; the open-system backend degrades to a point
+            # estimate (interval = None) instead, so a short job stream —
+            # e.g. the single-arrival reduction scenario — stays expressible.
             raise ValueError(
                 f"num_jobs ({self.num_jobs}) must be >= num_batches "
                 f"({self.num_batches})"
@@ -327,7 +351,36 @@ def _static_scenario(config: SimulationConfig, mode: str) -> ScenarioSpec:
             f"station discipline; scheduling policy {scenario.policy!r} "
             "requires the event-driven backend"
         )
+    _reject_open_scenario(scenario, mode)
     return scenario
+
+
+def _split_demands(
+    total_demand: float,
+    scenario: ScenarioSpec,
+    workstations: int,
+    placement_rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-station task demands of one job under the scenario's placement.
+
+    Shared by the closed and open event-driven back-ends — the bitwise
+    open-to-closed reduction relies on both splitting jobs identically.
+    """
+    if scenario.imbalance == 0.0:
+        return balanced_tasks(total_demand, workstations)
+    return imbalanced_tasks(
+        total_demand, workstations, scenario.imbalance, placement_rng
+    )
+
+
+def _reject_open_scenario(scenario: ScenarioSpec, mode: str) -> None:
+    """Refuse to run an open (job-stream) scenario on a closed backend."""
+    if scenario.is_open:
+        raise ValueError(
+            f"the {mode} backend runs the paper's closed system (one job at a "
+            "time); a scenario with a job-arrival process requires the "
+            "'open-system' mode"
+        )
 
 
 def _integral_task_demand(task_demand: float, mode: str) -> int:
@@ -561,6 +614,7 @@ class EventDrivenClusterSimulator:
         """Run ``num_jobs`` back-to-back jobs on a persistent cluster."""
         cfg = self.config
         scenario = cfg.effective_scenario
+        _reject_open_scenario(scenario, self.mode)
         policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
         env = Environment()
         stations = self._build_cluster(env)
@@ -572,12 +626,8 @@ class EventDrivenClusterSimulator:
 
         def run_one_job(job_id: int):
             start = env.now
-            demands = (
-                balanced_tasks(cfg.job_demand, cfg.workstations)
-                if scenario.imbalance == 0.0
-                else imbalanced_tasks(
-                    cfg.job_demand, cfg.workstations, scenario.imbalance, placement_rng
-                )
+            demands = _split_demands(
+                cfg.job_demand, scenario, cfg.workstations, placement_rng
             )
             tasks = yield from policy.run_job(env, stations, demands)
             results.append(JobResult(job_id=job_id, start_time=start, tasks=tasks))
@@ -609,18 +659,286 @@ class EventDrivenClusterSimulator:
         )
 
 
+@dataclass(frozen=True)
+class OpenSystemResult:
+    """Steady-state queueing estimates of one open-system (job-stream) run.
+
+    The raw per-job records are kept as four parallel arrays in *arrival
+    order* (so the result round-trips through the NPZ cache); every queueing
+    metric is derived, with response times taken in *completion* order and
+    the warmup prefix truncated per the arrival spec before steady-state
+    statistics are formed.
+    """
+
+    config: SimulationConfig
+    mode: str
+    arrival_times: np.ndarray
+    start_times: np.ndarray
+    end_times: np.ndarray
+    demands: np.ndarray
+    measured_owner_utilization: float | None = None
+
+    @property
+    def arrival_spec(self) -> JobArrivalSpec:
+        spec = self.config.effective_scenario.arrivals
+        assert spec is not None
+        return spec
+
+    @property
+    def num_jobs(self) -> int:
+        return int(self.arrival_times.size)
+
+    @cached_property
+    def completion_order(self) -> np.ndarray:
+        """Indices of the jobs sorted by completion time (stable for ties)."""
+        return np.argsort(self.end_times, kind="stable")
+
+    @cached_property
+    def response_times(self) -> np.ndarray:
+        """Arrival-to-completion times, in completion order."""
+        order = self.completion_order
+        return (self.end_times - self.arrival_times)[order]
+
+    @cached_property
+    def wait_times(self) -> np.ndarray:
+        """Admission-queue waiting times, in completion order."""
+        order = self.completion_order
+        return (self.start_times - self.arrival_times)[order]
+
+    @cached_property
+    def service_times(self) -> np.ndarray:
+        """On-cluster makespans (the closed-system job times), in completion order."""
+        order = self.completion_order
+        return (self.end_times - self.start_times)[order]
+
+    @cached_property
+    def slowdowns(self) -> np.ndarray:
+        """Per-job slowdown: response time over the ideal dedicated makespan.
+
+        The ideal reference is ``demand / W`` — the job's makespan on a
+        dedicated, perfectly balanced cluster — so a slowdown of 1 means the
+        job saw neither queueing delay nor owner interference.
+        """
+        order = self.completion_order
+        ideal = self.demands[order] / self.config.workstations
+        return (self.end_times - self.arrival_times)[order] / ideal
+
+    @cached_property
+    def warmup_jobs(self) -> int:
+        """How many earliest-completed jobs the warmup truncation discards."""
+        return self.num_jobs - warmup_truncate(
+            self.response_times, self.arrival_spec.warmup_fraction
+        ).size
+
+    @cached_property
+    def steady_response_times(self) -> np.ndarray:
+        """Post-warmup response times (the batch-means input)."""
+        return warmup_truncate(
+            self.response_times, self.arrival_spec.warmup_fraction
+        )
+
+    @cached_property
+    def response_time_interval(self) -> BatchMeansResult | None:
+        """Batch-means CI over the post-warmup response times.
+
+        ``None`` when fewer post-warmup completions than batches exist (e.g.
+        the single-arrival reduction scenario).
+        """
+        return steady_state_interval(
+            self.response_times,
+            self.arrival_spec.warmup_fraction,
+            self.config.num_batches,
+            self.config.confidence,
+        )
+
+    # -- scalar queueing metrics ------------------------------------------
+
+    @property
+    def mean_response_time(self) -> float:
+        return float(np.mean(self.steady_response_times))
+
+    @property
+    def p95_response_time(self) -> float:
+        return float(np.percentile(self.steady_response_times, 95.0))
+
+    @property
+    def mean_wait_time(self) -> float:
+        return float(
+            np.mean(
+                warmup_truncate(self.wait_times, self.arrival_spec.warmup_fraction)
+            )
+        )
+
+    @property
+    def mean_slowdown(self) -> float:
+        return float(
+            np.mean(
+                warmup_truncate(self.slowdowns, self.arrival_spec.warmup_fraction)
+            )
+        )
+
+    @property
+    def makespan(self) -> float:
+        """Time at which the last job completed."""
+        return float(np.max(self.end_times))
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per unit time over the whole run."""
+        return self.num_jobs / self.makespan
+
+    @property
+    def parallel_utilization(self) -> float:
+        """Fraction of total cluster capacity spent on parallel work."""
+        return float(np.sum(self.demands)) / (
+            self.config.workstations * self.makespan
+        )
+
+    def metrics(self) -> dict[str, float]:
+        """The steady-state queueing metrics as a flat mapping (for reports)."""
+        interval = self.response_time_interval
+        return {
+            "mean_response_time": self.mean_response_time,
+            "p95_response_time": self.p95_response_time,
+            "mean_wait_time": self.mean_wait_time,
+            "mean_slowdown": self.mean_slowdown,
+            "throughput": self.throughput,
+            "parallel_utilization": self.parallel_utilization,
+            "response_ci_half_width": (
+                float("nan") if interval is None else interval.half_width
+            ),
+            "completed_jobs": float(self.num_jobs),
+            "warmup_jobs": float(self.warmup_jobs),
+        }
+
+    def summary(self) -> str:
+        cfg = self.config
+        spec = self.arrival_spec
+        interval = self.response_time_interval
+        ci = (
+            ""
+            if interval is None
+            else (
+                f" ± {interval.half_width:.2f} "
+                f"({interval.interval.confidence:.0%} CI)"
+            )
+        )
+        return (
+            f"[{self.mode}] W={cfg.workstations} T={cfg.task_demand} "
+            f"U={cfg.nominal_owner_utilization:.3f} "
+            f"{spec.kind}@{spec.mean_rate:.4g}: "
+            f"R≈{self.mean_response_time:.2f}{ci}, "
+            f"p95={self.p95_response_time:.2f}, "
+            f"slowdown≈{self.mean_slowdown:.2f}, "
+            f"X={self.throughput:.4g}, util={self.parallel_utilization:.3f} "
+            f"({self.num_jobs} jobs, {self.warmup_jobs} warmup)"
+        )
+
+
+class OpenSystemSimulator(EventDrivenClusterSimulator):
+    """Event-driven cluster fed by a stream of competing parallel jobs.
+
+    Jobs arrive per the scenario's :class:`~repro.core.params.JobArrivalSpec`,
+    wait in a FIFO admission queue (at most ``max_concurrent_jobs`` on the
+    cluster at once) and run under the scenario's scheduling policy on the
+    same non-dedicated workstations as the closed-system backend.  The owner
+    and placement random streams are created in the exact order of the closed
+    backend, so a single job arriving at time 0 reproduces the closed
+    system's first job bitwise (the reduction the regression tests pin).
+    """
+
+    mode = "open-system"
+
+    def run(self) -> OpenSystemResult:  # type: ignore[override]
+        """Simulate ``num_jobs`` arrivals and return the queueing estimates."""
+        cfg = self.config
+        scenario = cfg.effective_scenario
+        spec = scenario.arrivals
+        if spec is None:
+            raise ValueError(
+                "the open-system backend needs a scenario with a job-arrival "
+                "process; set ScenarioSpec.arrivals (e.g. via "
+                "JobArrivalSpec.poisson) or use a closed backend"
+            )
+        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
+        env = Environment()
+        # Stream creation order matches the closed event-driven backend
+        # (owners, then placement) so the single-arrival reduction is bitwise.
+        stations = self._build_cluster(env)
+        placement_rng = self._streams.stream("placement")
+        arrival_rng = self._streams.stream("arrivals")
+        demand_rng = self._streams.stream("job-demands")
+        demand_variate = make_variate(
+            spec.demand_kind, cfg.job_demand, **dict(spec.demand_kwargs)
+        )
+        admission = Resource(env, capacity=spec.max_concurrent_jobs)
+
+        records: list[OpenJobRecord] = []
+        job_procs = []
+
+        def run_one_job(record: OpenJobRecord):
+            with admission.request() as req:
+                yield req
+                record.start_time = env.now
+                demands = _split_demands(
+                    record.demand, scenario, cfg.workstations, placement_rng
+                )
+                tasks = yield from policy.run_job(env, stations, demands)
+                record.end_time = env.now
+                record.tasks = tuple(tasks)
+
+        def source():
+            mean_gap = spec.mean_interarrival
+            for job_id in range(cfg.num_jobs):
+                gap = spec.interarrival(job_id)
+                if gap is None:
+                    gap = float(arrival_rng.exponential(mean_gap))
+                yield env.timeout(gap)
+                demand = float(demand_variate.sample(demand_rng))
+                while demand <= 0.0:
+                    demand = float(demand_variate.sample(demand_rng))
+                record = OpenJobRecord(
+                    job_id=job_id, arrival_time=env.now, demand=demand
+                )
+                records.append(record)
+                job_procs.append(env.process(run_one_job(record)))
+
+        source_proc = env.process(source())
+        # Owners cycle forever: run until all arrivals are in, then drain the
+        # in-flight jobs.
+        env.run(until=source_proc)
+        if job_procs:
+            env.run(until=env.all_of(job_procs))
+
+        measured_util = float(
+            np.mean([s.measured_owner_utilization() for s in stations])
+        )
+        return OpenSystemResult(
+            config=cfg,
+            mode=self.mode,
+            arrival_times=np.array(
+                [r.arrival_time for r in records], dtype=np.float64
+            ),
+            start_times=np.array([r.start_time for r in records], dtype=np.float64),
+            end_times=np.array([r.end_time for r in records], dtype=np.float64),
+            demands=np.array([r.demand for r in records], dtype=np.float64),
+            measured_owner_utilization=measured_util,
+        )
+
+
 _BACKENDS = {
     "discrete-time": DiscreteTimeSimulator,
     "monte-carlo": MonteCarloSampler,
     "event-driven": EventDrivenClusterSimulator,
+    "open-system": OpenSystemSimulator,
 }
 
-SimulationMode = Literal["discrete-time", "monte-carlo", "event-driven"]
+SimulationMode = Literal["discrete-time", "monte-carlo", "event-driven", "open-system"]
 
 
 def run_simulation(
     config: SimulationConfig, mode: SimulationMode = "monte-carlo"
-) -> SimulationResult:
+) -> SimulationResult | OpenSystemResult:
     """Run one simulation with the chosen back-end."""
     try:
         backend = _BACKENDS[mode]

@@ -63,6 +63,7 @@ from .metrics import (
 )
 from .params import (
     STATIC_POLICY,
+    JobArrivalSpec,
     JobSpec,
     ModelInputs,
     OwnerSpec,
@@ -87,6 +88,7 @@ from .sweep import SweepGrid, SweepRow, group_rows, pivot_series, run_sweep
 __all__ = [
     # params
     "JobSpec",
+    "JobArrivalSpec",
     "OwnerSpec",
     "StationSpec",
     "ScenarioSpec",

@@ -37,6 +37,7 @@ __all__ = [
     "TaskRounding",
     "OwnerSpec",
     "StationSpec",
+    "JobArrivalSpec",
     "ScenarioSpec",
     "STATIC_POLICY",
     "JobSpec",
@@ -285,6 +286,154 @@ class StationSpec:
         return float(p)
 
 
+#: Interarrival-process families understood by :class:`JobArrivalSpec`.
+ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "trace")
+
+
+@dataclass(frozen=True)
+class JobArrivalSpec:
+    """A stream of parallel jobs arriving at the cluster (open-system mode).
+
+    The paper's model is *closed*: one parallel job at a time, run back to
+    back.  An arrival spec generalizes a :class:`ScenarioSpec` to an *open*
+    system — jobs arrive over time, queue for admission and compete for the
+    same non-dedicated workstations — so response time under contention
+    (rather than standalone speedup) can be studied.
+
+    Attributes
+    ----------
+    kind:
+        Interarrival-process family: ``"poisson"`` (exponential interarrivals
+        with mean ``1/rate``), ``"deterministic"`` (every interarrival exactly
+        ``1/rate``) or ``"trace"`` (replay ``interarrivals``, cycling when the
+        run needs more arrivals than the trace holds).
+    rate:
+        Arrival rate ``lambda`` in jobs per unit time (``poisson`` and
+        ``deterministic`` kinds).
+    interarrivals:
+        Recorded interarrival gaps for the ``trace`` kind; the first entry is
+        the arrival time of the first job.
+    demand_kind:
+        Distribution family of the per-job total demand (``"deterministic"``,
+        ``"exponential"``, ...); the mean is the scenario's nominal job
+        demand ``J``.
+    demand_kwargs:
+        Extra demand-distribution parameters (e.g. ``squared_cv``), stored in
+        the same canonical hashable form as
+        :attr:`StationSpec.demand_kwargs`.
+    max_concurrent_jobs:
+        Admission width: how many jobs may occupy the cluster simultaneously.
+        The default 1 is strict FCFS — each job gets the whole cluster, later
+        arrivals queue — which makes a 1-station no-owner run an M/M/1 or
+        M/D/1 queue exactly.
+    warmup_fraction:
+        Fraction of the earliest completed jobs discarded before steady-state
+        queueing metrics are computed (warmup truncation for batch means).
+    """
+
+    kind: str = "poisson"
+    rate: float | None = None
+    interarrivals: tuple[float, ...] = ()
+    demand_kind: str = "deterministic"
+    demand_kwargs: tuple[tuple[str, float], ...] = ()
+    max_concurrent_jobs: int = 1
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}"
+            )
+        if self.kind == "trace":
+            if self.rate is not None:
+                raise ValueError("a trace-driven arrival spec takes no rate")
+            gaps = tuple(float(gap) for gap in self.interarrivals)
+            if not gaps:
+                raise ValueError("a trace-driven arrival spec needs interarrivals")
+            for gap in gaps:
+                if not math.isfinite(gap) or gap < 0.0:
+                    raise ValueError(
+                        f"interarrival gaps must be finite and >= 0, got {gap!r}"
+                    )
+            object.__setattr__(self, "interarrivals", gaps)
+        else:
+            if self.interarrivals:
+                raise ValueError(
+                    f"interarrivals only apply to the trace kind, not {self.kind!r}"
+                )
+            if self.rate is None or not math.isfinite(self.rate) or self.rate <= 0.0:
+                raise ValueError(
+                    f"{self.kind} arrivals need a positive finite rate, got {self.rate!r}"
+                )
+            object.__setattr__(self, "rate", float(self.rate))
+        if not self.demand_kind:
+            raise ValueError("demand_kind must be a non-empty name")
+        object.__setattr__(self, "demand_kwargs", _freeze_kwargs(self.demand_kwargs))
+        if self.max_concurrent_jobs < 1:
+            raise ValueError(
+                f"max_concurrent_jobs must be >= 1, got {self.max_concurrent_jobs!r}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction!r}"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def poisson(cls, rate: float, **kwargs) -> "JobArrivalSpec":
+        """Poisson arrivals at ``rate`` jobs per unit time."""
+        return cls(kind="poisson", rate=rate, **kwargs)
+
+    @classmethod
+    def deterministic(cls, rate: float, **kwargs) -> "JobArrivalSpec":
+        """Evenly spaced arrivals, one every ``1/rate`` time units."""
+        return cls(kind="deterministic", rate=rate, **kwargs)
+
+    @classmethod
+    def from_trace(
+        cls, interarrivals: Sequence[float], **kwargs
+    ) -> "JobArrivalSpec":
+        """Replay recorded interarrival gaps (cycled if the run is longer)."""
+        return cls(kind="trace", interarrivals=tuple(interarrivals), **kwargs)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Mean gap between consecutive arrivals."""
+        if self.kind == "trace":
+            return float(sum(self.interarrivals) / len(self.interarrivals))
+        assert self.rate is not None
+        return 1.0 / self.rate
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run arrival rate ``lambda`` (jobs per unit time)."""
+        mean = self.mean_interarrival
+        return math.inf if mean == 0.0 else 1.0 / mean
+
+    def interarrival(self, index: int) -> float | None:
+        """Deterministic interarrival of the ``index``-th job, if one exists.
+
+        Returns the gap for the ``deterministic`` and ``trace`` kinds and
+        ``None`` for stochastic kinds (the simulator samples those from its
+        arrival stream).
+        """
+        if self.kind == "deterministic":
+            assert self.rate is not None
+            return 1.0 / self.rate
+        if self.kind == "trace":
+            return self.interarrivals[index % len(self.interarrivals)]
+        return None
+
+    def offered_load(self, service_rate: float) -> float:
+        """Offered load ``rho = lambda / mu`` against a given service rate."""
+        if service_rate <= 0.0:
+            raise ValueError(f"service_rate must be positive, got {service_rate!r}")
+        return self.mean_rate / service_rate
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """A simulation scenario: per-workstation owners, placement and scheduling.
@@ -310,12 +459,17 @@ class ScenarioSpec:
     imbalance:
         Relative task-demand imbalance of the placement (0 = the paper's
         perfectly balanced split), used by the event-driven backend.
+    arrivals:
+        Optional :class:`JobArrivalSpec` turning the scenario into an *open*
+        system (a stream of competing jobs).  ``None`` — the default, and the
+        paper's model — is the closed system: one job at a time, back to back.
     """
 
     stations: tuple[StationSpec, ...]
     policy: str = STATIC_POLICY
     policy_kwargs: tuple[tuple[str, float], ...] = ()
     imbalance: float = 0.0
+    arrivals: JobArrivalSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.stations:
@@ -331,6 +485,10 @@ class ScenarioSpec:
         object.__setattr__(self, "policy_kwargs", _freeze_kwargs(self.policy_kwargs))
         if not 0.0 <= self.imbalance < 1.0:
             raise ValueError(f"imbalance must be in [0, 1), got {self.imbalance!r}")
+        if self.arrivals is not None and not isinstance(self.arrivals, JobArrivalSpec):
+            raise TypeError(
+                f"arrivals must be a JobArrivalSpec or None, got {self.arrivals!r}"
+            )
 
     # -- constructors ------------------------------------------------------
 
@@ -345,6 +503,7 @@ class ScenarioSpec:
         policy: str = STATIC_POLICY,
         policy_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
         imbalance: float = 0.0,
+        arrivals: JobArrivalSpec | None = None,
     ) -> "ScenarioSpec":
         """The paper's homogeneous cluster expressed as a scenario."""
         if workstations < 1:
@@ -357,6 +516,7 @@ class ScenarioSpec:
             policy=policy,
             policy_kwargs=_freeze_kwargs(policy_kwargs),
             imbalance=imbalance,
+            arrivals=arrivals,
         )
 
     @classmethod
@@ -368,6 +528,7 @@ class ScenarioSpec:
         policy: str = STATIC_POLICY,
         policy_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
         imbalance: float = 0.0,
+        arrivals: JobArrivalSpec | None = None,
     ) -> "ScenarioSpec":
         """One station per owner spec, all sharing one demand-distribution kind."""
         return cls(
@@ -377,6 +538,7 @@ class ScenarioSpec:
             policy=policy,
             policy_kwargs=_freeze_kwargs(policy_kwargs),
             imbalance=imbalance,
+            arrivals=arrivals,
         )
 
     @classmethod
@@ -427,6 +589,11 @@ class ScenarioSpec:
     def max_utilization(self) -> float:
         return max(station.utilization for station in self.stations)
 
+    @property
+    def is_open(self) -> bool:
+        """Whether this scenario describes an open system (a job stream)."""
+        return self.arrivals is not None
+
     def with_policy(
         self,
         policy: str,
@@ -436,6 +603,10 @@ class ScenarioSpec:
         return replace(
             self, policy=policy, policy_kwargs=_freeze_kwargs(policy_kwargs)
         )
+
+    def with_arrivals(self, arrivals: JobArrivalSpec | None) -> "ScenarioSpec":
+        """Copy of this scenario with a different job-arrival process."""
+        return replace(self, arrivals=arrivals)
 
 
 @dataclass(frozen=True)

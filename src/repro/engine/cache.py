@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..cluster.simulation import SimulationConfig, SimulationResult
+from ..cluster.simulation import OpenSystemResult, SimulationConfig, SimulationResult
 from ..stats import batch_means_interval
 
 __all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
@@ -36,8 +36,11 @@ __all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
 #: written under an older schema can never silently replay.  Schema 2 added
 #: the scenario fields (per-station owners, scheduling policy), without which
 #: a schema-1 entry keyed only on the representative owner could replay for a
-#: heterogeneous or non-static point it never simulated.
-CACHE_VERSION = 2
+#: heterogeneous or non-static point it never simulated.  Schema 3 added the
+#: job-arrival process (open-system mode) and the open-result NPZ layout:
+#: without the arrival fields, a closed point and an open point sharing a
+#: scenario would collide on one digest.
+CACHE_VERSION = 3
 
 
 def config_fingerprint(config: SimulationConfig, mode: str) -> str:
@@ -80,6 +83,25 @@ def config_fingerprint(config: SimulationConfig, mode: str) -> str:
         "policy": str(scenario.policy),
         "policy_kwargs": [list(pair) for pair in scenario.policy_kwargs],
         "imbalance": float(scenario.imbalance),
+        "arrivals": (
+            None
+            if scenario.arrivals is None
+            else {
+                "kind": str(scenario.arrivals.kind),
+                "rate": (
+                    None
+                    if scenario.arrivals.rate is None
+                    else float(scenario.arrivals.rate)
+                ),
+                "interarrivals": [float(g) for g in scenario.arrivals.interarrivals],
+                "demand_kind": str(scenario.arrivals.demand_kind),
+                "demand_kwargs": [
+                    list(pair) for pair in scenario.arrivals.demand_kwargs
+                ],
+                "max_concurrent_jobs": int(scenario.arrivals.max_concurrent_jobs),
+                "warmup_fraction": float(scenario.arrivals.warmup_fraction),
+            }
+        ),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -104,22 +126,48 @@ class ResultCache:
     def contains(self, config: SimulationConfig, mode: str) -> bool:
         return self.path_for(config, mode).exists()
 
-    def load(self, config: SimulationConfig, mode: str) -> SimulationResult | None:
+    def load(
+        self, config: SimulationConfig, mode: str
+    ) -> SimulationResult | OpenSystemResult | None:
         """Return the cached result for a point, or ``None`` on a miss.
 
         A corrupt or unreadable entry is treated as a miss (the point is
-        simply resimulated and rewritten).
+        simply resimulated and rewritten).  Open-system points store per-job
+        arrival/start/end/demand arrays instead of job/task times; every
+        derived queueing metric (and the batch-means interval) is recomputed
+        from those on access, so the cache format stays independent of the
+        stats layer for both result flavours.
         """
         path = self.path_for(config, mode)
         if not path.exists():
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
-                job_times = np.asarray(data["job_times"], dtype=np.float64)
-                task_times = np.asarray(data["task_times"], dtype=np.float64)
                 measured = float(data["measured_owner_utilization"])
+                if mode == "open-system":
+                    arrays = {
+                        key: np.asarray(data[key], dtype=np.float64)
+                        for key in (
+                            "arrival_times",
+                            "start_times",
+                            "end_times",
+                            "demands",
+                        )
+                    }
+                else:
+                    job_times = np.asarray(data["job_times"], dtype=np.float64)
+                    task_times = np.asarray(data["task_times"], dtype=np.float64)
         except (OSError, KeyError, ValueError):
             return None
+        if mode == "open-system":
+            if arrays["arrival_times"].size != config.num_jobs:
+                return None
+            return OpenSystemResult(
+                config=config,
+                mode=mode,
+                measured_owner_utilization=None if np.isnan(measured) else measured,
+                **arrays,
+            )
         if job_times.size != config.num_jobs:
             return None
         return SimulationResult(
@@ -133,7 +181,12 @@ class ResultCache:
             measured_owner_utilization=None if np.isnan(measured) else measured,
         )
 
-    def store(self, config: SimulationConfig, mode: str, result: SimulationResult) -> Path:
+    def store(
+        self,
+        config: SimulationConfig,
+        mode: str,
+        result: SimulationResult | OpenSystemResult,
+    ) -> Path:
         """Persist one completed point; returns the cache file path."""
         path = self.path_for(config, mode)
         measured = (
@@ -141,6 +194,18 @@ class ResultCache:
             if result.measured_owner_utilization is None
             else float(result.measured_owner_utilization)
         )
+        if isinstance(result, OpenSystemResult):
+            arrays = {
+                "arrival_times": np.asarray(result.arrival_times, dtype=np.float64),
+                "start_times": np.asarray(result.start_times, dtype=np.float64),
+                "end_times": np.asarray(result.end_times, dtype=np.float64),
+                "demands": np.asarray(result.demands, dtype=np.float64),
+            }
+        else:
+            arrays = {
+                "job_times": np.asarray(result.job_times, dtype=np.float64),
+                "task_times": np.asarray(result.task_times, dtype=np.float64),
+            }
         fd, tmp_name = tempfile.mkstemp(
             dir=self.root, prefix=path.stem, suffix=".tmp"
         )
@@ -148,9 +213,8 @@ class ResultCache:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(
                     handle,
-                    job_times=np.asarray(result.job_times, dtype=np.float64),
-                    task_times=np.asarray(result.task_times, dtype=np.float64),
                     measured_owner_utilization=np.float64(measured),
+                    **arrays,
                 )
             os.replace(tmp_name, path)
         except BaseException:

@@ -11,11 +11,14 @@ yet the whole sweep reproduces from a single integer.
 Figures 1–6 share the fixed-job-size grid (``J`` constant, ``W`` swept, one
 curve per owner utilization); Figure 9 uses the scaled-workload grid (constant
 per-node demand ``T``); ``validation`` is the Section-2.2 grid at the paper's
-20 × 1000 sampling effort.  Two scenario-parameterized families go beyond the
-paper: ``hetero-concentration`` skews a fixed average owner load across the
-cluster (the heterogeneous extension of :mod:`repro.core.heterogeneous`), and
+20 × 1000 sampling effort.  Three scenario-parameterized families go beyond
+the paper: ``hetero-concentration`` skews a fixed average owner load across
+the cluster (the heterogeneous extension of :mod:`repro.core.heterogeneous`),
 ``policy-compare`` runs the same cluster under each task-scheduling policy of
-:mod:`repro.cluster.policies` on the event-driven backend.
+:mod:`repro.cluster.policies` on the event-driven backend, and
+``arrival-sweep`` opens the system — a Poisson stream of competing parallel
+jobs at normalized arrival rates — to measure steady-state queueing metrics
+on the open-system backend.
 """
 
 from __future__ import annotations
@@ -25,7 +28,13 @@ from typing import Sequence
 from ..cluster.policies import POLICY_NAMES
 from ..cluster.simulation import SimulationConfig
 from ..core.heterogeneous import concentrated_utilizations
-from ..core.params import OwnerSpec, ScenarioSpec, TaskRounding, split_job_demand
+from ..core.params import (
+    JobArrivalSpec,
+    OwnerSpec,
+    ScenarioSpec,
+    TaskRounding,
+    split_job_demand,
+)
 from ..desim import StreamRegistry
 
 __all__ = ["GRID_NAMES", "build_grid", "grid_mode", "grid_from_product"]
@@ -44,6 +53,15 @@ _DEFAULT_CONCENTRATIONS: tuple[float, ...] = (0.0, 0.5, 1.0)
 #: grid runs on the event-driven backend, which walks every preemption).
 _SCENARIO_WORKSTATIONS: tuple[int, ...] = (8, 16, 32)
 
+#: Normalized arrival rates of the open-system family: fractions of each
+#: point's saturation throughput ``W * (1 - U) / J`` (so every point is a
+#: stable queue regardless of its ``W`` and ``U``).
+_DEFAULT_ARRIVAL_RATES: tuple[float, ...] = (0.25, 0.5, 0.75)
+
+#: Workstation counts for the arrival family (open-system runs queue jobs,
+#: so each point simulates a longer horizon than a closed run).
+_ARRIVAL_WORKSTATIONS: tuple[int, ...] = (4, 8, 16)
+
 #: name -> (kind, demand, default num_jobs, backend mode); ``fixed`` reads
 #: demand as the total job size ``J``, ``scaled`` as the constant per-node
 #: demand ``T``; ``concentration`` and ``policy`` are ``fixed``-demand
@@ -59,6 +77,7 @@ _GRIDS: dict[str, tuple[str, float, int, str]] = {
     "validation": ("fixed", 1000.0, 20_000, "monte-carlo"),
     "hetero-concentration": ("concentration", 1000.0, 2000, "monte-carlo"),
     "policy-compare": ("policy", 1000.0, 400, "event-driven"),
+    "arrival-sweep": ("arrival", 1000.0, 400, "open-system"),
 }
 
 GRID_NAMES: tuple[str, ...] = tuple(_GRIDS)
@@ -220,6 +239,69 @@ def _policy_grid(
     return configs
 
 
+def _arrival_grid(
+    name: str,
+    job_demand: float,
+    workstation_counts: Sequence[int],
+    utilizations: Sequence[float],
+    arrival_rates: Sequence[float],
+    *,
+    owner_demand: float,
+    num_jobs: int,
+    num_batches: int,
+    confidence: float,
+    seed: int,
+) -> list[SimulationConfig]:
+    """Open-system family: a Poisson job stream on the non-dedicated cluster.
+
+    ``arrival_rates`` are *normalized*: each value is the fraction of the
+    point's saturation throughput ``mu = W * (1 - U) / J`` (the best-case
+    service rate of a perfectly balanced job on ``W`` stations whose owners
+    absorb a fraction ``U`` of the capacity), so the same rate vector yields
+    comparably loaded — and stable, for rates < 1 — queues across every
+    ``(W, U)`` cell.
+    """
+    streams = StreamRegistry(seed)
+    configs: list[SimulationConfig] = []
+    for utilization in utilizations:
+        owner = OwnerSpec(demand=owner_demand, utilization=float(utilization))
+        for workstations in workstation_counts:
+            task_demand = split_job_demand(
+                job_demand, int(workstations), TaskRounding.ROUND
+            )
+            saturation = (
+                int(workstations) * (1.0 - float(utilization))
+                / (task_demand * int(workstations))
+            )
+            for rate in arrival_rates:
+                if not 0.0 < float(rate) < 1.0:
+                    raise ValueError(
+                        "normalized arrival rates must lie in (0, 1) so the "
+                        f"queue is stable, got {rate!r}"
+                    )
+                arrivals = JobArrivalSpec.poisson(
+                    rate=float(rate) * saturation, demand_kind="deterministic"
+                )
+                scenario = ScenarioSpec.homogeneous(
+                    int(workstations), owner, arrivals=arrivals
+                )
+                point_seed = streams.derive_seed(
+                    f"{name}/U={float(utilization):g}/W={int(workstations)}"
+                    f"/T={float(task_demand):g}/rate={float(rate):g}"
+                )
+                configs.append(
+                    SimulationConfig.from_scenario(
+                        scenario,
+                        task_demand=task_demand,
+                        num_jobs=num_jobs,
+                        num_batches=num_batches,
+                        confidence=confidence,
+                        seed=point_seed,
+                    )
+                )
+    return configs
+
+
 def build_grid(
     name: str,
     *,
@@ -232,13 +314,16 @@ def build_grid(
     seed: int = 0,
     concentration_levels: Sequence[float] | None = None,
     policies: Sequence[str] | None = None,
+    arrival_rates: Sequence[float] | None = None,
 ) -> list[SimulationConfig]:
     """Build the config list of a named grid (dimensions overridable).
 
     ``concentration_levels`` applies only to the ``hetero-concentration``
-    family (where ``utilizations`` are the *cluster-average* utilizations) and
-    ``policies`` only to ``policy-compare``; passing either for a grid that
-    has no such axis raises ``ValueError``.
+    family (where ``utilizations`` are the *cluster-average* utilizations),
+    ``policies`` only to ``policy-compare`` and ``arrival_rates`` (normalized
+    to each point's saturation throughput, in ``(0, 1)``) only to
+    ``arrival-sweep``; passing one for a grid that has no such axis raises
+    ``ValueError``.
     """
     try:
         kind, demand, default_jobs, _ = _GRIDS[name]
@@ -253,6 +338,10 @@ def build_grid(
     if policies is not None and kind != "policy":
         raise ValueError(
             f"grid {name!r} has no policy axis (only policy-compare does)"
+        )
+    if arrival_rates is not None and kind != "arrival":
+        raise ValueError(
+            f"grid {name!r} has no arrival-rate axis (only arrival-sweep does)"
         )
     if utilizations is None:
         utilizations = _PAPER_UTILIZATIONS if kind != "concentration" else (0.10,)
@@ -296,6 +385,22 @@ def build_grid(
             str(p) for p in (policies if policies is not None else POLICY_NAMES)
         )
         return _policy_grid(name, demand, counts, utils, chosen, **common)
+    if kind == "arrival":
+        counts = tuple(
+            int(w)
+            for w in (
+                workstation_counts
+                if workstation_counts is not None
+                else _ARRIVAL_WORKSTATIONS
+            )
+        )
+        rates = tuple(
+            float(r)
+            for r in (
+                arrival_rates if arrival_rates is not None else _DEFAULT_ARRIVAL_RATES
+            )
+        )
+        return _arrival_grid(name, demand, counts, utils, rates, **common)
     counts = tuple(
         int(w)
         for w in (

@@ -23,10 +23,14 @@ from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..cluster.simulation import (
     MonteCarloSampler,
+    OpenSystemResult,
     SimulationConfig,
     SimulationResult,
     run_simulation,
 )
+
+#: Either flavour of completed simulation point (closed or open system).
+PointResult = SimulationResult | OpenSystemResult
 from .cache import ResultCache
 
 __all__ = ["SweepOutcome", "SweepRunner", "parallel_map", "resolve_jobs"]
@@ -44,7 +48,7 @@ def resolve_jobs(jobs: int | None) -> int:
     return int(jobs)
 
 
-def _simulate_point(item: tuple[SimulationConfig, str]) -> SimulationResult:
+def _simulate_point(item: tuple[SimulationConfig, str]) -> PointResult:
     """Top-level worker entry point (must be picklable for the process pool)."""
     config, mode = item
     return run_simulation(config, mode)  # type: ignore[arg-type]
@@ -80,7 +84,7 @@ class SweepOutcome:
     cache (``simulated + cache_hits == len(results)``).
     """
 
-    results: list[SimulationResult]
+    results: list[PointResult]
     mode: str
     jobs: int
     simulated: int = 0
@@ -90,10 +94,10 @@ class SweepOutcome:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self) -> Iterator[SimulationResult]:
+    def __iter__(self) -> Iterator[PointResult]:
         return iter(self.results)
 
-    def __getitem__(self, index: int) -> SimulationResult:
+    def __getitem__(self, index: int) -> PointResult:
         return self.results[index]
 
     def summary(self) -> str:
@@ -142,7 +146,7 @@ class SweepRunner:
         mode = mode or self.mode
         configs = list(configs)
         started = time.perf_counter()
-        results: list[SimulationResult | None] = [None] * len(configs)
+        results: list[PointResult | None] = [None] * len(configs)
 
         pending: list[tuple[int, SimulationConfig]] = []
         cache_hits = 0

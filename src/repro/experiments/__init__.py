@@ -26,6 +26,7 @@ from .figures import (
     run_fig10,
     run_fig11,
 )
+from .open_system import QueueingRow, open_system_experiment
 from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
 from .report import figure_to_csv, format_comparison, format_figure, format_mapping
 from .validation import (
@@ -55,6 +56,8 @@ __all__ = [
     "run_simulation_validation",
     "agreement_summary",
     "AblationRow",
+    "QueueingRow",
+    "open_system_experiment",
     "owner_variance_ablation",
     "heterogeneity_ablation",
     "imbalance_ablation",

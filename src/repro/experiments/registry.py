@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
-from . import ablations, figures, validation
+from . import ablations, figures, open_system, validation
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -106,6 +106,13 @@ EXPERIMENTS: Mapping[str, Experiment] = {
             "(analytic extension vs the scenario-parameterized Monte-Carlo backend)",
             ablations.heterogeneity_ablation,
             kind="ablation",
+        ),
+        Experiment(
+            "open_system",
+            "Open-system job stream: mean/p95 response time, slowdown, "
+            "throughput and utilization vs normalized Poisson arrival rate",
+            open_system.open_system_experiment,
+            kind="queueing",
         ),
         Experiment(
             "ablation-scheduling",

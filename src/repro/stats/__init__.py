@@ -5,6 +5,8 @@ from .batch_means import (
     batch_means_interval,
     batch_observations,
     lag1_autocorrelation,
+    steady_state_interval,
+    warmup_truncate,
 )
 from .confidence import ConfidenceInterval, mean_confidence_interval, t_confidence_interval
 from .summary import ReplicationSummary, compare_to_reference, summarize_replications
@@ -17,6 +19,8 @@ __all__ = [
     "batch_means_interval",
     "batch_observations",
     "lag1_autocorrelation",
+    "warmup_truncate",
+    "steady_state_interval",
     "ReplicationSummary",
     "summarize_replications",
     "compare_to_reference",

@@ -26,6 +26,8 @@ __all__ = [
     "batch_observations",
     "batch_means_interval",
     "lag1_autocorrelation",
+    "warmup_truncate",
+    "steady_state_interval",
 ]
 
 #: Defaults matching Section 2.2 of the paper.
@@ -97,6 +99,46 @@ class BatchMeansResult:
     def meets_precision(self, relative_half_width: float = 0.01) -> bool:
         """Whether the interval meets the paper's "1 percent or less" criterion."""
         return self.relative_half_width <= relative_half_width
+
+
+def warmup_truncate(
+    values: Sequence[float] | np.ndarray,
+    warmup_fraction: float,
+) -> np.ndarray:
+    """Discard the initial-transient prefix of a steady-state observation series.
+
+    ``warmup_fraction`` of the observations (rounded down) are dropped from
+    the front — the standard warmup truncation applied before batch means so
+    the initial transient (e.g. the empty queue an open-system simulation
+    starts from) does not bias the steady-state estimate.  A fraction of 0
+    returns the series unchanged; an empty series stays empty.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
+        )
+    data = np.asarray(values, dtype=np.float64)
+    discard = int(data.size * warmup_fraction)
+    return data[discard:]
+
+
+def steady_state_interval(
+    values: Sequence[float] | np.ndarray,
+    warmup_fraction: float = 0.1,
+    num_batches: int = DEFAULT_NUM_BATCHES,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> BatchMeansResult | None:
+    """Warmup-truncated batch-means interval, or ``None`` if too few samples.
+
+    Convenience wrapper combining :func:`warmup_truncate` and
+    :func:`batch_means_interval` for open-system queueing metrics: short runs
+    (fewer post-warmup observations than batches) yield ``None`` rather than
+    an error, so a single-arrival regression run can still be summarized.
+    """
+    steady = warmup_truncate(values, warmup_fraction)
+    if steady.size < num_batches:
+        return None
+    return batch_means_interval(steady, num_batches, confidence)
 
 
 def batch_means_interval(

@@ -108,20 +108,32 @@ def trivial_usage_behavior(
 
 @dataclass(frozen=True)
 class OwnerActivityTrace:
-    """A realised owner-activity trace: busy intervals over a horizon."""
+    """A realised owner-activity trace: busy intervals over a horizon.
+
+    A zero-length horizon is a valid (empty) trace — it arises naturally when
+    a measurement window degenerates, e.g. while slicing traces for
+    interarrival sampling — and intervals must lie inside ``[0, horizon]``:
+    an interval reaching past the horizon would silently inflate the measured
+    utilization beyond what the window can support.
+    """
 
     horizon: float
     busy_intervals: tuple[tuple[float, float], ...]
 
     def __post_init__(self) -> None:
-        if self.horizon <= 0:
-            raise ValueError(f"horizon must be positive, got {self.horizon!r}")
+        if self.horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {self.horizon!r}")
         last_end = 0.0
         for start, end in self.busy_intervals:
             if start < last_end or end < start:
                 raise ValueError(
                     "busy intervals must be non-overlapping and ordered; "
                     f"offending interval ({start}, {end})"
+                )
+            if end > self.horizon:
+                raise ValueError(
+                    f"busy interval ({start}, {end}) reaches past the "
+                    f"horizon {self.horizon}"
                 )
             last_end = end
 
@@ -131,7 +143,13 @@ class OwnerActivityTrace:
 
     @property
     def utilization(self) -> float:
-        """Fraction of the horizon during which the owner kept the CPU busy."""
+        """Fraction of the horizon during which the owner kept the CPU busy.
+
+        A zero-length horizon carries no activity, so its utilization is 0
+        (rather than a division error).
+        """
+        if self.horizon == 0.0:
+            return 0.0
         return min(1.0, self.busy_time / self.horizon)
 
     @property
@@ -139,13 +157,40 @@ class OwnerActivityTrace:
         return len(self.busy_intervals)
 
     def busy_at(self, time: float) -> bool:
-        """Whether the owner is busy at the given instant."""
+        """Whether the owner is busy at the given instant.
+
+        Intervals are half-open (``start <= t < end``), so an interval that
+        touches the horizon boundary reports busy right up to — but not at —
+        the horizon itself, and instants outside ``[0, horizon)`` are never
+        busy.
+        """
+        if not 0.0 <= time < self.horizon:
+            return False
         for start, end in self.busy_intervals:
             if start <= time < end:
                 return True
             if start > time:
                 break
         return False
+
+    def burst_start_times(self) -> tuple[float, ...]:
+        """Start instants of the busy bursts (the trace's arrival epochs)."""
+        return tuple(start for start, _ in self.busy_intervals)
+
+    def to_interarrivals(self) -> tuple[float, ...]:
+        """Gaps between consecutive burst starts (first gap is from time 0).
+
+        This is the bridge to trace-driven job streams: feeding the gaps to
+        :meth:`repro.core.JobArrivalSpec.from_trace` replays the measured
+        owner-activity epochs as job arrivals.  Empty for a trace with no
+        bursts.
+        """
+        starts = self.burst_start_times()
+        if not starts:
+            return ()
+        gaps = [starts[0]]
+        gaps.extend(b - a for a, b in zip(starts, starts[1:]))
+        return tuple(gaps)
 
 
 def generate_trace(
@@ -157,9 +202,12 @@ def generate_trace(
 
     The owner alternates a sampled think period and a sampled busy period,
     starting with a think period; busy intervals are truncated at the horizon.
+    A zero-length horizon yields the empty trace.
     """
-    if horizon <= 0:
-        raise ValueError(f"horizon must be positive, got {horizon!r}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon!r}")
+    if horizon == 0:
+        return OwnerActivityTrace(horizon=0.0, busy_intervals=())
     intervals: list[tuple[float, float]] = []
     time = 0.0
     if behavior.is_idle:

@@ -55,7 +55,8 @@ def _v1_fingerprint(config: SimulationConfig, mode: str) -> str:
 
 class TestCacheSchemaV2:
     def test_schema_bumped(self):
-        assert CACHE_VERSION == 2
+        # Schema 3 added the job-arrival (open-system) fields.
+        assert CACHE_VERSION == 3
 
     def test_v1_entries_never_replay(self, tmp_path, paper_owner):
         """An NPZ written under the schema-1 key must be a miss, not a stale hit."""

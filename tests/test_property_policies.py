@@ -1,0 +1,210 @@
+"""Property-based tests for the scheduling policies of the event-driven backend.
+
+Two invariants must hold for *every* registered policy, on any cluster and
+under any owner interference:
+
+1. **Work conservation** — the task results returned for a job account for
+   exactly the job's total demand: no chunk is lost, none is duplicated.
+2. **No bilocation** — a logical work item (a task, chunk or migrated
+   remainder) never executes on two workstations at the same time.  Each
+   policy drives one simulation process per item, so the execution intervals
+   charged to one process must be pairwise disjoint even as the item hops
+   between stations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    POLICY_NAMES,
+    OwnerBehavior,
+    Workstation,
+    balanced_tasks,
+    make_policy,
+)
+from repro.core import OwnerSpec
+from repro.desim import Environment, StreamRegistry
+
+
+def _instrument(station: Workstation, log: list) -> None:
+    """Wrap a station's execute generators to log (process, station, start, end).
+
+    The logging happens inside the wrapped generator, so
+    ``env.active_process`` identifies the simulation process (the logical
+    work item) that ran the fragment.
+    """
+    orig_task = station.execute_task
+    orig_step = station.execute_task_step
+
+    def execute_task(demand):
+        start = station.env.now
+        record = yield from orig_task(demand)
+        log.append((id(station.env.active_process), station.index, start, station.env.now))
+        return record
+
+    def execute_task_step(demand):
+        start = station.env.now
+        out = yield from orig_step(demand)
+        log.append((id(station.env.active_process), station.index, start, station.env.now))
+        return out
+
+    station.execute_task = execute_task
+    station.execute_task_step = execute_task_step
+
+
+def _run_one_job(
+    policy_name: str,
+    utilizations: list[float],
+    job_demand: float,
+    seed: int,
+    chunks_per_station: int = 3,
+):
+    """Run one job under a policy on a fresh cluster; returns (tasks, log)."""
+    streams = StreamRegistry(seed)
+    env = Environment()
+    log: list[tuple[int, int, float, float]] = []
+    stations = []
+    for index, utilization in enumerate(utilizations):
+        behavior = OwnerBehavior.from_spec(
+            OwnerSpec(demand=10.0, utilization=utilization)
+        )
+        station = Workstation(env, index, behavior, streams.stream(f"owner-{index}"))
+        station.start_owner()
+        _instrument(station, log)
+        stations.append(station)
+    kwargs = (
+        {"chunks_per_station": chunks_per_station}
+        if policy_name == "self-scheduling"
+        else {}
+    )
+    policy = make_policy(policy_name, **kwargs)
+    demands = balanced_tasks(job_demand, len(stations))
+    proc = env.process(policy.run_job(env, stations, demands))
+    env.run(until=proc)
+    return proc.value, log
+
+
+@st.composite
+def _cluster_cases(draw):
+    workstations = draw(st.integers(min_value=1, max_value=6))
+    utilizations = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.05, 0.2, 0.5]),
+            min_size=workstations,
+            max_size=workstations,
+        )
+    )
+    job_demand = draw(st.sampled_from([30.0, 80.0, 250.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    chunks = draw(st.integers(min_value=1, max_value=5))
+    return utilizations, job_demand, seed, chunks
+
+
+class TestWorkConservation:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @settings(max_examples=20, deadline=None)
+    @given(case=_cluster_cases())
+    def test_total_executed_units_equal_job_demand(self, policy_name, case):
+        utilizations, job_demand, seed, chunks = case
+        tasks, _ = _run_one_job(policy_name, utilizations, job_demand, seed, chunks)
+        assert tasks, "a job must produce at least one task result"
+        total = float(np.sum([task.demand for task in tasks]))
+        assert total == pytest.approx(job_demand, rel=1e-9)
+        for task in tasks:
+            assert task.demand > 0
+            assert task.end_time >= task.start_time
+            # Wall-clock time can never undercut the executed demand.
+            assert task.execution_time >= task.demand - 1e-9
+            assert 0 <= task.workstation < len(utilizations)
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @settings(max_examples=20, deadline=None)
+    @given(case=_cluster_cases())
+    def test_dedicated_cluster_busy_time_equals_demand(self, policy_name, case):
+        """With idle owners the logged execution time is exactly the demand."""
+        _, job_demand, seed, chunks = case
+        utilizations = [0.0] * len(case[0])
+        tasks, log = _run_one_job(policy_name, utilizations, job_demand, seed, chunks)
+        busy = sum(end - start for _, _, start, end in log)
+        assert busy == pytest.approx(job_demand, rel=1e-9)
+        makespan = max(task.end_time for task in tasks)
+        assert makespan >= job_demand / len(utilizations) - 1e-9
+
+
+class TestNoBilocation:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @settings(max_examples=20, deadline=None)
+    @given(case=_cluster_cases())
+    def test_one_item_never_executes_on_two_stations_at_once(
+        self, policy_name, case
+    ):
+        utilizations, job_demand, seed, chunks = case
+        _, log = _run_one_job(policy_name, utilizations, job_demand, seed, chunks)
+        by_item: dict[int, list[tuple[float, float]]] = {}
+        for item, _station, start, end in log:
+            by_item.setdefault(item, []).append((start, end))
+        for intervals in by_item.values():
+            intervals.sort()
+            for (_, prev_end), (next_start, _) in zip(intervals, intervals[1:]):
+                assert next_start >= prev_end - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=_cluster_cases())
+    def test_migration_fragments_stay_sequential_across_stations(self, case):
+        """Migrated remainders hop stations but never overlap in time."""
+        utilizations, job_demand, seed, _ = case
+        _, log = _run_one_job(
+            "migrate-on-owner-arrival", utilizations, job_demand, seed
+        )
+        by_item: dict[int, list[tuple[float, float, int]]] = {}
+        for item, station, start, end in log:
+            by_item.setdefault(item, []).append((start, end, station))
+        migrated = 0
+        for fragments in by_item.values():
+            fragments.sort()
+            stations_seen = {station for _, _, station in fragments}
+            if len(stations_seen) > 1:
+                migrated += 1
+            for (_, prev_end, _), (next_start, _, _) in zip(
+                fragments, fragments[1:]
+            ):
+                assert next_start >= prev_end - 1e-9
+        # Every logical item appears (one per station under this policy).
+        assert len(by_item) == len(utilizations)
+        assert migrated >= 0
+
+
+class TestGrantInstantPreemption:
+    def test_preemption_delivered_at_the_cpu_grant_does_not_crash(self):
+        """Regression: an owner can preempt in the very event step that grants
+        the CPU, delivering the Interrupt while the task is still parked at
+        ``yield req``; the workstation must absorb it as a zero-work fragment
+        instead of crashing the run (hypothesis falsifying example)."""
+        tasks, log = _run_one_job(
+            "migrate-on-owner-arrival",
+            [0.5, 0.5, 0.5, 0.2, 0.05, 0.5],
+            250.0,
+            seed=50427,
+        )
+        assert sum(task.demand for task in tasks) == pytest.approx(250.0)
+        by_item: dict[int, list[tuple[float, float]]] = {}
+        for item, _station, start, end in log:
+            by_item.setdefault(item, []).append((start, end))
+        for intervals in by_item.values():
+            intervals.sort()
+            for (_, prev_end), (next_start, _) in zip(intervals, intervals[1:]):
+                assert next_start >= prev_end - 1e-9
+
+
+class TestPolicyLowerBounds:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_makespan_never_beats_the_critical_path(self, policy_name):
+        """No policy can finish faster than total work over cluster width."""
+        utilizations = [0.3, 0.1, 0.0, 0.0]
+        tasks, _ = _run_one_job(policy_name, utilizations, 200.0, seed=5)
+        makespan = max(task.end_time for task in tasks)
+        assert makespan >= 200.0 / len(utilizations) - 1e-9

@@ -12,9 +12,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster import MonteCarloSampler, SimulationConfig, run_simulation
+from repro.cluster import (
+    MonteCarloSampler,
+    POLICY_NAMES,
+    SimulationConfig,
+    run_simulation,
+)
 from repro.core import (
     HeterogeneousSystem,
+    JobArrivalSpec,
     OwnerSpec,
     ScenarioSpec,
     evaluate,
@@ -141,6 +147,73 @@ class TestAnalyticalAgreement:
                 100, HeterogeneousSystem.from_scenario(config.scenario)
             )
             assert result.mean_job_time == pytest.approx(analytic, rel=0.03)
+
+
+class TestOpenSystemReduction:
+    """An open system whose queue never holds two jobs is the closed system.
+
+    The open-system backend builds its owner and placement streams in the
+    closed backend's exact order, so a job stream that degenerates to
+    back-to-back service must reproduce the closed event-driven results
+    bitwise — the contract that pins the admission layer as a pure extension.
+    """
+
+    def _closed(self, paper_owner, policy, num_jobs=30, seed=17):
+        scenario = ScenarioSpec.homogeneous(5, paper_owner, policy=policy)
+        return SimulationConfig.from_scenario(
+            scenario, task_demand=40.0, num_jobs=num_jobs, num_batches=4, seed=seed
+        )
+
+    def _open(self, paper_owner, policy, num_jobs=30, seed=17):
+        scenario = ScenarioSpec.homogeneous(
+            5,
+            paper_owner,
+            policy=policy,
+            # All jobs arrive at time 0 and the FCFS admission queue serves
+            # them one at a time: service order and timing match the closed
+            # back-to-back driver exactly.
+            arrivals=JobArrivalSpec.from_trace((0.0,), warmup_fraction=0.0),
+        )
+        return SimulationConfig.from_scenario(
+            scenario, task_demand=40.0, num_jobs=num_jobs, num_batches=4, seed=seed
+        )
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_burst_stream_reproduces_closed_job_times_bitwise(
+        self, paper_owner, policy
+    ):
+        closed = run_simulation(self._closed(paper_owner, policy), "event-driven")
+        opened = run_simulation(self._open(paper_owner, policy), "open-system")
+        np.testing.assert_array_equal(closed.job_times, opened.service_times)
+        # Back-to-back service: each job starts the instant the previous ends.
+        np.testing.assert_array_equal(
+            opened.start_times[1:], opened.end_times[:-1]
+        )
+        assert opened.measured_owner_utilization == pytest.approx(
+            closed.measured_owner_utilization
+        )
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_single_arrival_empty_queue_matches_first_closed_job(
+        self, paper_owner, policy
+    ):
+        closed = run_simulation(self._closed(paper_owner, policy), "event-driven")
+        single = run_simulation(
+            self._open(paper_owner, policy, num_jobs=1), "open-system"
+        )
+        assert single.num_jobs == 1
+        assert single.wait_times[0] == 0.0
+        assert single.arrival_times[0] == 0.0
+        # One arrival into an empty queue == the closed system's first job.
+        assert single.service_times[0] == closed.job_times[0]
+        assert single.response_times[0] == closed.job_times[0]
+
+    def test_open_scenario_never_shares_a_closed_fingerprint(self, paper_owner):
+        closed = self._closed(paper_owner, "static")
+        opened = self._open(paper_owner, "static")
+        assert config_fingerprint(closed, "event-driven") != config_fingerprint(
+            opened, "open-system"
+        )
 
 
 class TestConfigScenarioValidation:

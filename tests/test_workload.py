@@ -91,7 +91,7 @@ class TestTraces:
 
     def test_invalid_traces_rejected(self):
         with pytest.raises(ValueError):
-            OwnerActivityTrace(horizon=0.0, busy_intervals=())
+            OwnerActivityTrace(horizon=-1.0, busy_intervals=())
         with pytest.raises(ValueError):
             OwnerActivityTrace(horizon=10.0, busy_intervals=((5.0, 3.0),))
         with pytest.raises(ValueError):
@@ -100,7 +100,9 @@ class TestTraces:
     def test_invalid_horizon(self, rng):
         behavior = OwnerBehavior.from_spec(OwnerSpec(demand=10, utilization=0.1))
         with pytest.raises(ValueError):
-            generate_trace(behavior, horizon=0.0, rng=rng)
+            generate_trace(behavior, horizon=-1.0, rng=rng)
+        # A zero-length horizon is a valid (empty) measurement window.
+        assert generate_trace(behavior, horizon=0.0, rng=rng).utilization == 0.0
 
 
 class TestUptimeSurvey:

@@ -1,0 +1,134 @@
+"""Edge-case tests for OwnerActivityTrace / measure_utilization.
+
+These pin the boundary behaviour surfaced while reusing owner-activity traces
+as interarrival sources for the open-system job stream: zero-length horizons,
+intervals touching (or illegally crossing) the horizon boundary, and the
+trace-to-interarrivals bridge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import OwnerBehavior
+from repro.core import JobArrivalSpec, OwnerSpec
+from repro.workload import (
+    OwnerActivityTrace,
+    generate_trace,
+    measure_utilization,
+    uptime_survey,
+)
+
+
+class TestZeroLengthHorizon:
+    def test_empty_zero_horizon_trace_is_valid(self):
+        trace = OwnerActivityTrace(horizon=0.0, busy_intervals=())
+        assert trace.utilization == 0.0
+        assert trace.busy_time == 0.0
+        assert trace.num_bursts == 0
+
+    def test_measure_utilization_handles_zero_horizon(self):
+        trace = OwnerActivityTrace(horizon=0.0, busy_intervals=())
+        assert measure_utilization(trace) == 0.0
+
+    def test_zero_horizon_rejects_any_interval(self):
+        with pytest.raises(ValueError, match="past the"):
+            OwnerActivityTrace(horizon=0.0, busy_intervals=((0.0, 1.0),))
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            OwnerActivityTrace(horizon=-5.0, busy_intervals=())
+
+    def test_generate_trace_zero_horizon(self, rng):
+        behavior = OwnerBehavior.from_spec(OwnerSpec(demand=10, utilization=0.2))
+        trace = generate_trace(behavior, horizon=0.0, rng=rng)
+        assert trace.horizon == 0.0
+        assert trace.busy_intervals == ()
+        assert trace.utilization == 0.0
+
+    def test_generate_trace_negative_horizon_rejected(self, rng):
+        behavior = OwnerBehavior.from_spec(OwnerSpec(demand=10, utilization=0.2))
+        with pytest.raises(ValueError):
+            generate_trace(behavior, horizon=-1.0, rng=rng)
+
+    def test_busy_at_zero_horizon_never_busy(self):
+        trace = OwnerActivityTrace(horizon=0.0, busy_intervals=())
+        assert not trace.busy_at(0.0)
+
+
+class TestHorizonBoundary:
+    def test_interval_touching_the_horizon_is_valid(self):
+        trace = OwnerActivityTrace(horizon=10.0, busy_intervals=((8.0, 10.0),))
+        assert trace.utilization == pytest.approx(0.2)
+        assert trace.busy_time == pytest.approx(2.0)
+
+    def test_interval_past_the_horizon_rejected(self):
+        with pytest.raises(ValueError, match="past the"):
+            OwnerActivityTrace(horizon=10.0, busy_intervals=((8.0, 10.5),))
+
+    def test_full_horizon_burst_utilization_is_one(self):
+        trace = OwnerActivityTrace(horizon=10.0, busy_intervals=((0.0, 10.0),))
+        assert trace.utilization == 1.0
+
+    def test_busy_at_half_open_at_the_boundary(self):
+        trace = OwnerActivityTrace(horizon=10.0, busy_intervals=((8.0, 10.0),))
+        assert trace.busy_at(8.0)
+        assert trace.busy_at(9.999)
+        # Half-open intervals: the horizon instant itself is outside the trace.
+        assert not trace.busy_at(10.0)
+
+    def test_busy_at_outside_the_window_is_false(self):
+        trace = OwnerActivityTrace(horizon=10.0, busy_intervals=((2.0, 4.0),))
+        assert not trace.busy_at(-1.0)
+        assert not trace.busy_at(10.0)
+        assert not trace.busy_at(25.0)
+
+    def test_zero_length_interval_is_never_busy(self):
+        trace = OwnerActivityTrace(horizon=10.0, busy_intervals=((3.0, 3.0),))
+        assert trace.busy_time == 0.0
+        assert not trace.busy_at(3.0)
+
+    def test_generated_intervals_respect_the_horizon(self, rng):
+        behavior = OwnerBehavior.from_spec(OwnerSpec(demand=50, utilization=0.5))
+        trace = generate_trace(behavior, horizon=123.0, rng=rng)
+        assert all(end <= 123.0 for _, end in trace.busy_intervals)
+
+
+class TestTraceInterarrivals:
+    def test_interarrivals_from_burst_starts(self):
+        trace = OwnerActivityTrace(
+            horizon=100.0,
+            busy_intervals=((10.0, 20.0), (50.0, 60.0), (90.0, 95.0)),
+        )
+        assert trace.burst_start_times() == (10.0, 50.0, 90.0)
+        assert trace.to_interarrivals() == (10.0, 40.0, 40.0)
+
+    def test_empty_trace_has_no_interarrivals(self):
+        trace = OwnerActivityTrace(horizon=100.0, busy_intervals=())
+        assert trace.to_interarrivals() == ()
+
+    def test_interarrivals_feed_a_job_arrival_spec(self):
+        trace = OwnerActivityTrace(
+            horizon=100.0, busy_intervals=((5.0, 6.0), (25.0, 30.0))
+        )
+        spec = JobArrivalSpec.from_trace(trace.to_interarrivals())
+        assert spec.kind == "trace"
+        assert spec.interarrival(0) == 5.0
+        assert spec.interarrival(1) == 20.0
+        assert spec.mean_interarrival == pytest.approx(12.5)
+
+    def test_generated_trace_round_trips_to_arrivals(self, rng):
+        behavior = OwnerBehavior.from_spec(OwnerSpec(demand=10, utilization=0.1))
+        trace = generate_trace(behavior, horizon=50_000.0, rng=rng)
+        spec = JobArrivalSpec.from_trace(trace.to_interarrivals())
+        assert spec.mean_rate == pytest.approx(
+            trace.num_bursts / trace.burst_start_times()[-1], rel=1e-9
+        )
+
+
+class TestSurveyStillCalibrated:
+    def test_uptime_survey_unaffected_by_boundary_fixes(self):
+        behavior = OwnerBehavior.from_spec(OwnerSpec(demand=10, utilization=0.03))
+        survey = uptime_survey(behavior, horizon=100_000.0, num_workstations=6, seed=2)
+        assert survey["mean"] == pytest.approx(0.03, abs=0.015)
+        assert 0.0 <= survey["min"] <= survey["max"] <= 1.0
