@@ -1,0 +1,73 @@
+"""Benchmark of the open-system backend: jobs completed per wall-clock second.
+
+Runs the space-shared open-system simulator at three normalized loads and
+reports its throughput in *simulated job completions per second of wall
+time* — the number that bounds how large an arrival-sweep or admission-sweep
+grid stays interactive.  The shape checks assert the queueing contract along
+the way: heavier load means longer mean response, and every job completes.
+"""
+
+import time
+
+from repro.cluster import SimulationConfig, run_simulation
+from repro.core import JobArrivalSpec, JobClassSpec, OwnerSpec, ScenarioSpec
+from repro.experiments.report import format_mapping
+
+WORKSTATIONS = 8
+TASK_DEMAND = 125.0  # J = 1000
+NUM_JOBS = 400
+LOADS = (0.3, 0.6, 0.85)
+
+
+def _config(load: float, space_shared: bool) -> SimulationConfig:
+    utilization = 0.10
+    owner = OwnerSpec(demand=10.0, utilization=utilization)
+    saturation = (1.0 - utilization) / TASK_DEMAND
+    kwargs = {}
+    if space_shared:
+        kwargs = dict(
+            job_classes=(
+                JobClassSpec("narrow", width=2, weight=0.75),
+                JobClassSpec("wide", width=WORKSTATIONS, weight=0.25, priority=1),
+            ),
+            admission_policy="easy-backfill",
+        )
+    arrivals = JobArrivalSpec.poisson(rate=load * saturation, **kwargs)
+    scenario = ScenarioSpec.homogeneous(WORKSTATIONS, owner, arrivals=arrivals)
+    return SimulationConfig.from_scenario(
+        scenario, task_demand=TASK_DEMAND, num_jobs=NUM_JOBS,
+        num_batches=10, seed=42,
+    )
+
+
+def test_open_system_throughput(once):
+    def run_all():
+        results = {}
+        for load in LOADS:
+            for space_shared in (False, True):
+                results[(load, space_shared)] = run_simulation(
+                    _config(load, space_shared), "open-system"
+                )
+        return results
+
+    start = time.perf_counter()
+    results = once(run_all)
+    elapsed = time.perf_counter() - start
+
+    report = {"total_seconds": elapsed}
+    previous = None
+    for load in LOADS:
+        classless = results[(load, False)]
+        shared = results[(load, True)]
+        assert classless.num_jobs == NUM_JOBS
+        assert shared.num_jobs == NUM_JOBS
+        # Heavier load -> slower responses (queueing contract).
+        if previous is not None:
+            assert classless.mean_response_time > previous
+        previous = classless.mean_response_time
+        report[f"load={load:g}_classless_mean_R"] = classless.mean_response_time
+        report[f"load={load:g}_space_shared_mean_R"] = shared.mean_response_time
+    total_jobs = NUM_JOBS * len(LOADS) * 2
+    report["jobs_completed_per_sec"] = total_jobs / elapsed
+    print()
+    print(format_mapping("open-system backend throughput", report))

@@ -1,0 +1,112 @@
+"""Space-sharing showcase: moldable job widths under admission policies.
+
+PR 3 opened the system to a stream of whole-cluster jobs behind one FCFS
+counter.  This example exercises the admission subsystem on top of it:
+
+1. mix narrow (width-2) and full-width moldable jobs on one 8-station
+   cluster and race the admission policies — FCFS head-of-line blocking,
+   EASY-style backfilling, priority, and preemptive priority (kill-and-
+   requeue) — comparing overall and per-class response times;
+2. drive the same cluster from a *closed-loop* source: a fixed population of
+   think-submit-wait users, the interactive model of queueing theory, whose
+   throughput saturates as the population grows.
+
+Run with:  python examples/space_sharing.py
+"""
+
+from repro.cluster import SimulationConfig, run_simulation
+from repro.core import JobArrivalSpec, JobClassSpec, OwnerSpec, ScenarioSpec
+
+WORKSTATIONS = 8
+JOB_DEMAND = 800.0
+UTILIZATION = 0.10
+NUM_JOBS = 400
+
+
+def admission_policy_race() -> None:
+    task_demand = JOB_DEMAND / WORKSTATIONS
+    owner = OwnerSpec(demand=10.0, utilization=UTILIZATION)
+    saturation = (1.0 - UTILIZATION) / task_demand
+    classes = (
+        JobClassSpec("narrow", width=2, weight=0.75, priority=0),
+        JobClassSpec("wide", width=WORKSTATIONS, weight=0.25, priority=1),
+    )
+    print(
+        f"== admission-policy race (W={WORKSTATIONS}, 75% width-2 / "
+        f"25% width-{WORKSTATIONS} jobs, 60% load) =="
+    )
+    print(
+        f"{'policy':>20} {'mean R':>9} {'p99 R':>9} "
+        f"{'narrow R':>9} {'wide R':>9} {'evict':>6}"
+    )
+    for name, policy, kwargs in (
+        ("fcfs", "fcfs", None),
+        ("easy-backfill", "easy-backfill", None),
+        ("priority", "priority", None),
+        ("priority+preempt", "priority", {"preemptive": 1.0}),
+    ):
+        arrivals = JobArrivalSpec.poisson(
+            rate=0.6 * saturation,
+            job_classes=classes,
+            admission_policy=policy,
+            admission_kwargs=kwargs or (),
+        )
+        scenario = ScenarioSpec.homogeneous(
+            WORKSTATIONS, owner, arrivals=arrivals
+        )
+        config = SimulationConfig.from_scenario(
+            scenario, task_demand=task_demand, num_jobs=NUM_JOBS,
+            num_batches=10, seed=42,
+        )
+        result = run_simulation(config, "open-system")
+        per_class = result.class_metrics()
+        print(
+            f"{name:>20} {result.mean_response_time:>9.1f} "
+            f"{result.p99_response_time:>9.1f} "
+            f"{per_class['narrow']['mean_response_time']:>9.1f} "
+            f"{per_class['wide']['mean_response_time']:>9.1f} "
+            f"{result.total_admission_preemptions:>6.0f}"
+        )
+    print(
+        "Reading: backfilling slides narrow jobs into stations a blocked\n"
+        "full-width job cannot use; preemptive priority buys the wide class\n"
+        "fast responses by evicting (and restarting) narrow jobs.\n"
+    )
+
+
+def closed_loop_saturation() -> None:
+    task_demand = JOB_DEMAND / WORKSTATIONS
+    owner = OwnerSpec(demand=10.0, utilization=UTILIZATION)
+    print("== closed-loop sources (think 1000, width 4, growing population) ==")
+    print(f"{'users':>6} {'mean R':>9} {'throughput':>11} {'util':>6}")
+    for population in (1, 4, 8, 16):
+        arrivals = JobArrivalSpec.closed_loop(
+            (
+                JobClassSpec.closed(
+                    "users", width=4, population=population, think_time=1000.0
+                ),
+            )
+        )
+        scenario = ScenarioSpec.homogeneous(
+            WORKSTATIONS, owner, arrivals=arrivals
+        )
+        config = SimulationConfig.from_scenario(
+            scenario, task_demand=task_demand, num_jobs=240,
+            num_batches=10, seed=7,
+        )
+        result = run_simulation(config, "open-system")
+        print(
+            f"{population:>6} {result.mean_response_time:>9.1f} "
+            f"{result.throughput:>11.5f} {result.parallel_utilization:>6.1%}"
+        )
+    print(
+        "Reading: two width-4 jobs fit side by side, so throughput scales\n"
+        "with the population until the pair of slots saturates (around\n"
+        "2*(think+R)/R ~ 10 users); past the knee extra users only queue —\n"
+        "response time climbs while throughput flattens."
+    )
+
+
+if __name__ == "__main__":
+    admission_policy_race()
+    closed_loop_saturation()

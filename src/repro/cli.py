@@ -34,6 +34,14 @@ standalone job times)::
 
     repro-experiments sweep arrival-sweep --arrival-rates 0.25,0.5,0.75
     repro-experiments run open_system
+
+Space-share it: mixes of moldable job widths admitted by FCFS, EASY-style
+backfilling or (preemptive) priority, with per-class response times::
+
+    repro-experiments sweep admission-sweep --job-widths 2,4 \\
+        --admission-policies fcfs,easy-backfill,priority
+    repro-experiments run admission
+    repro-experiments run open-system-response
 """
 
 from __future__ import annotations
@@ -157,7 +165,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated normalized job-arrival rates in (0, 1) — "
             "fractions of each point's saturation throughput "
-            "(arrival-sweep grid only)"
+            "(arrival-sweep and admission-sweep grids)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--job-widths", default=None,
+        help=(
+            "comma-separated moldable-job widths for the narrow class "
+            "(admission-sweep grid only)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--admission-policies", default=None,
+        help=(
+            "comma-separated admission policies "
+            "(admission-sweep grid only; see repro.cluster.ADMISSION_POLICY_NAMES)"
         ),
     )
     sweep_parser.add_argument(
@@ -235,6 +257,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.arrival_rates:
                 overrides["arrival_rates"] = tuple(
                     float(r) for r in args.arrival_rates.split(",")
+                )
+            if args.job_widths:
+                overrides["job_widths"] = tuple(
+                    int(w) for w in args.job_widths.split(",")
+                )
+            if args.admission_policies:
+                overrides["admission_policies"] = tuple(
+                    args.admission_policies.split(",")
                 )
             configs = build_grid(args.grid, **overrides)
             mode = args.mode or grid_mode(args.grid)

@@ -6,6 +6,19 @@ samplers used to validate the analytical model exactly as the paper's CSIM
 study did.
 """
 
+from .admission import (
+    ADMISSION_POLICIES,
+    ADMISSION_POLICY_NAMES,
+    AdmissionController,
+    AdmissionEvent,
+    AdmissionPolicy,
+    AdmissionPreemption,
+    AdmissionTicket,
+    EasyBackfillAdmission,
+    FCFSAdmission,
+    PriorityAdmission,
+    make_admission_policy,
+)
 from .job import (
     JobResult,
     OpenJobRecord,
@@ -38,6 +51,17 @@ from .simulation import (
 from .workstation import TaskExecution, Workstation
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionEvent",
+    "AdmissionPolicy",
+    "AdmissionPreemption",
+    "AdmissionTicket",
+    "FCFSAdmission",
+    "EasyBackfillAdmission",
+    "PriorityAdmission",
+    "ADMISSION_POLICIES",
+    "ADMISSION_POLICY_NAMES",
+    "make_admission_policy",
     "OwnerBehavior",
     "owner_process",
     "OWNER_PRIORITY",

@@ -153,6 +153,14 @@ class OpenJobRecord:
     start_time: float = float("nan")
     end_time: float = float("nan")
     tasks: tuple[TaskResult, ...] = ()
+    #: Stations this job occupies (space-shared streams; 0 = whole cluster).
+    width: int = 0
+    #: Index into the arrival spec's job classes (0 for classless streams).
+    class_id: int = 0
+    #: Admission priority (higher = more important; classless streams use 0).
+    priority: int = 0
+    #: Times this job was evicted by preemptive admission and restarted.
+    admission_preemptions: int = 0
 
     @property
     def completed(self) -> bool:

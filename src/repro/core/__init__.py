@@ -63,7 +63,9 @@ from .metrics import (
 )
 from .params import (
     STATIC_POLICY,
+    FCFS_ADMISSION,
     JobArrivalSpec,
+    JobClassSpec,
     JobSpec,
     ModelInputs,
     OwnerSpec,
@@ -88,7 +90,9 @@ from .sweep import SweepGrid, SweepRow, group_rows, pivot_series, run_sweep
 __all__ = [
     # params
     "JobSpec",
+    "FCFS_ADMISSION",
     "JobArrivalSpec",
+    "JobClassSpec",
     "OwnerSpec",
     "StationSpec",
     "ScenarioSpec",

@@ -37,9 +37,11 @@ __all__ = [
     "TaskRounding",
     "OwnerSpec",
     "StationSpec",
+    "JobClassSpec",
     "JobArrivalSpec",
     "ScenarioSpec",
     "STATIC_POLICY",
+    "FCFS_ADMISSION",
     "JobSpec",
     "SystemSpec",
     "ModelInputs",
@@ -287,7 +289,134 @@ class StationSpec:
 
 
 #: Interarrival-process families understood by :class:`JobArrivalSpec`.
-ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "trace")
+#: ``closed`` has no external arrival process at all — every job is submitted
+#: by a closed-loop (think-time) source described by a :class:`JobClassSpec`.
+ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "trace", "closed")
+
+#: Admission discipline used when no explicit policy is configured (and the
+#: only one the classless PR-3 job stream supports).  The full registry lives
+#: in :mod:`repro.cluster.admission`.
+FCFS_ADMISSION = "fcfs"
+
+
+@dataclass(frozen=True)
+class JobClassSpec:
+    """One class of moldable parallel jobs in an open- or closed-loop stream.
+
+    The classless :class:`JobArrivalSpec` describes a single stream of jobs
+    that each occupy the *whole* cluster.  Job classes generalize that to
+    space sharing: a class requests a width ``w <= W`` and runs on a station
+    *subset*, so several jobs occupy disjoint parts of the cluster at once,
+    admitted by one of the policies of :mod:`repro.cluster.admission`.
+
+    Attributes
+    ----------
+    name:
+        Class label (unique within one arrival spec); per-class queueing
+        metrics are keyed by it.
+    width:
+        Number of workstations one job of this class occupies (validated
+        against the scenario's ``W`` when the simulation runs).
+    priority:
+        Admission priority (higher = more important).  Only the ``priority``
+        admission policy orders by it; FCFS and backfilling ignore it.
+    weight:
+        Relative share of the *open* arrival stream routed to this class
+        (ignored for closed-loop classes).
+    population:
+        Number of closed-loop sources cycling through this class.  ``0`` (the
+        default) makes the class *open*: its jobs come from the spec's
+        interarrival process.  A positive population makes it *closed-loop*:
+        each source thinks, submits one job, waits for it to complete and
+        repeats — the interactive-user model of queueing theory.
+    think_time:
+        Mean think time of the closed-loop sources (required iff
+        ``population > 0``; ``0`` submits back to back).
+    think_time_kind:
+        Distribution family of the think time (``"exponential"``,
+        ``"deterministic"``, ...), resolved by
+        :func:`repro.desim.make_variate`.
+    think_time_kwargs:
+        Extra think-time distribution parameters, canonicalised like
+        :attr:`StationSpec.demand_kwargs`.
+    """
+
+    name: str
+    width: int
+    priority: int = 0
+    weight: float = 1.0
+    population: int = 0
+    think_time: float | None = None
+    think_time_kind: str = "exponential"
+    think_time_kwargs: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a job class needs a non-empty name")
+        if int(self.width) != self.width or self.width < 1:
+            raise ValueError(f"width must be a positive integer, got {self.width!r}")
+        object.__setattr__(self, "width", int(self.width))
+        if int(self.priority) != self.priority:
+            raise ValueError(f"priority must be an integer, got {self.priority!r}")
+        object.__setattr__(self, "priority", int(self.priority))
+        if not (math.isfinite(self.weight) and self.weight > 0.0):
+            raise ValueError(f"weight must be positive and finite, got {self.weight!r}")
+        if int(self.population) != self.population or self.population < 0:
+            raise ValueError(
+                f"population must be a non-negative integer, got {self.population!r}"
+            )
+        object.__setattr__(self, "population", int(self.population))
+        if self.population > 0:
+            if self.think_time is None or self.think_time < 0.0:
+                raise ValueError(
+                    "a closed-loop class (population > 0) needs a think_time >= 0, "
+                    f"got {self.think_time!r}"
+                )
+        elif self.think_time is not None:
+            raise ValueError(
+                "think_time only applies to closed-loop classes "
+                "(set population > 0)"
+            )
+        if not self.think_time_kind:
+            raise ValueError("think_time_kind must be a non-empty name")
+        object.__setattr__(
+            self, "think_time_kwargs", _freeze_kwargs(self.think_time_kwargs)
+        )
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether this class is driven by closed-loop (think-time) sources."""
+        return self.population > 0
+
+    @classmethod
+    def open(
+        cls, name: str, width: int, *, priority: int = 0, weight: float = 1.0
+    ) -> "JobClassSpec":
+        """An open class fed by the spec's interarrival process."""
+        return cls(name=name, width=width, priority=priority, weight=weight)
+
+    @classmethod
+    def closed(
+        cls,
+        name: str,
+        width: int,
+        *,
+        population: int,
+        think_time: float,
+        priority: int = 0,
+        think_time_kind: str = "exponential",
+        think_time_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
+    ) -> "JobClassSpec":
+        """A closed-loop class of ``population`` think-submit-wait sources."""
+        return cls(
+            name=name,
+            width=width,
+            priority=priority,
+            population=population,
+            think_time=think_time,
+            think_time_kind=think_time_kind,
+            think_time_kwargs=_freeze_kwargs(think_time_kwargs),
+        )
 
 
 @dataclass(frozen=True)
@@ -325,10 +454,25 @@ class JobArrivalSpec:
         Admission width: how many jobs may occupy the cluster simultaneously.
         The default 1 is strict FCFS — each job gets the whole cluster, later
         arrivals queue — which makes a 1-station no-owner run an M/M/1 or
-        M/D/1 queue exactly.
+        M/D/1 queue exactly.  Mutually exclusive with ``job_classes``
+        (per-class widths supersede the shared counter).
     warmup_fraction:
         Fraction of the earliest completed jobs discarded before steady-state
         queueing metrics are computed (warmup truncation for batch means).
+    job_classes:
+        Optional :class:`JobClassSpec` tuple turning the stream into a
+        space-shared mix of moldable jobs (per-class widths, priorities and
+        closed-loop sources).  Empty — the default — is the classless PR-3
+        stream: every job occupies the whole cluster.
+    admission_policy:
+        Name of the admission discipline partitioning stations among the
+        classed jobs, resolved by
+        :func:`repro.cluster.admission.make_admission_policy` (``"fcfs"``,
+        ``"easy-backfill"``, ``"priority"``).  Only meaningful with
+        ``job_classes``.
+    admission_kwargs:
+        Admission-policy parameters (e.g. ``preemptive`` for the priority
+        policy), canonicalised like :attr:`StationSpec.demand_kwargs`.
     """
 
     kind: str = "poisson"
@@ -338,13 +482,21 @@ class JobArrivalSpec:
     demand_kwargs: tuple[tuple[str, float], ...] = ()
     max_concurrent_jobs: int = 1
     warmup_fraction: float = 0.1
+    job_classes: tuple[JobClassSpec, ...] = ()
+    admission_policy: str = FCFS_ADMISSION
+    admission_kwargs: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_KINDS:
             raise ValueError(
                 f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}"
             )
-        if self.kind == "trace":
+        if self.kind == "closed":
+            if self.rate is not None:
+                raise ValueError("a closed arrival spec takes no rate")
+            if self.interarrivals:
+                raise ValueError("a closed arrival spec takes no interarrivals")
+        elif self.kind == "trace":
             if self.rate is not None:
                 raise ValueError("a trace-driven arrival spec takes no rate")
             gaps = tuple(float(gap) for gap in self.interarrivals)
@@ -377,6 +529,47 @@ class JobArrivalSpec:
             raise ValueError(
                 f"warmup_fraction must be in [0, 1), got {self.warmup_fraction!r}"
             )
+        object.__setattr__(self, "job_classes", tuple(self.job_classes))
+        for job_class in self.job_classes:
+            if not isinstance(job_class, JobClassSpec):
+                raise TypeError(
+                    f"job_classes must be JobClassSpec instances, got {job_class!r}"
+                )
+        names = [job_class.name for job_class in self.job_classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job class names must be unique, got {names!r}")
+        if not self.admission_policy:
+            raise ValueError("admission_policy must be a non-empty name")
+        object.__setattr__(
+            self, "admission_kwargs", _freeze_kwargs(self.admission_kwargs)
+        )
+        if self.job_classes:
+            if self.max_concurrent_jobs != 1:
+                raise ValueError(
+                    "job_classes and max_concurrent_jobs are mutually exclusive: "
+                    "per-class widths supersede the shared admission counter"
+                )
+        else:
+            if self.admission_policy != FCFS_ADMISSION or self.admission_kwargs:
+                raise ValueError(
+                    "admission policies operate on job classes; set job_classes "
+                    "to use a non-default admission_policy"
+                )
+        if self.kind == "closed":
+            if not self.job_classes or not all(
+                job_class.is_closed for job_class in self.job_classes
+            ):
+                raise ValueError(
+                    "the closed kind needs job_classes made entirely of "
+                    "closed-loop classes (population > 0)"
+                )
+        elif self.job_classes and not any(
+            not job_class.is_closed for job_class in self.job_classes
+        ):
+            raise ValueError(
+                "an arrival process with only closed-loop classes should use "
+                "kind='closed' (the interarrival stream would feed no class)"
+            )
 
     # -- constructors ------------------------------------------------------
 
@@ -397,11 +590,23 @@ class JobArrivalSpec:
         """Replay recorded interarrival gaps (cycled if the run is longer)."""
         return cls(kind="trace", interarrivals=tuple(interarrivals), **kwargs)
 
+    @classmethod
+    def closed_loop(
+        cls, job_classes: Sequence[JobClassSpec], **kwargs
+    ) -> "JobArrivalSpec":
+        """A purely closed-loop stream: every job comes from a think-time source."""
+        return cls(kind="closed", job_classes=tuple(job_classes), **kwargs)
+
     # -- derived views -----------------------------------------------------
 
     @property
     def mean_interarrival(self) -> float:
-        """Mean gap between consecutive arrivals."""
+        """Mean gap between consecutive *open* arrivals.
+
+        ``inf`` for the closed kind (there is no external arrival process).
+        """
+        if self.kind == "closed":
+            return math.inf
         if self.kind == "trace":
             return float(sum(self.interarrivals) / len(self.interarrivals))
         assert self.rate is not None
@@ -409,9 +614,39 @@ class JobArrivalSpec:
 
     @property
     def mean_rate(self) -> float:
-        """Long-run arrival rate ``lambda`` (jobs per unit time)."""
+        """Long-run *open* arrival rate ``lambda`` (jobs per unit time)."""
+        if self.kind == "closed":
+            return 0.0
         mean = self.mean_interarrival
         return math.inf if mean == 0.0 else 1.0 / mean
+
+    @property
+    def is_space_shared(self) -> bool:
+        """Whether jobs carry per-class widths (the admission subsystem runs)."""
+        return bool(self.job_classes)
+
+    @property
+    def open_class_indices(self) -> tuple[int, ...]:
+        """Indices of the classes fed by the open interarrival stream."""
+        return tuple(
+            index
+            for index, job_class in enumerate(self.job_classes)
+            if not job_class.is_closed
+        )
+
+    @property
+    def closed_class_indices(self) -> tuple[int, ...]:
+        """Indices of the closed-loop (think-time) classes."""
+        return tuple(
+            index
+            for index, job_class in enumerate(self.job_classes)
+            if job_class.is_closed
+        )
+
+    @property
+    def total_population(self) -> int:
+        """Total number of closed-loop sources across all classes."""
+        return sum(job_class.population for job_class in self.job_classes)
 
     def interarrival(self, index: int) -> float | None:
         """Deterministic interarrival of the ``index``-th job, if one exists.

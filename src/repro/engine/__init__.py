@@ -15,7 +15,7 @@ results regardless of worker count because every point owns its seed.
 """
 
 from .cache import CACHE_VERSION, ResultCache, config_fingerprint
-from .grids import GRID_NAMES, build_grid, grid_from_product, grid_mode
+from .grids import GRID_NAMES, build_grid, grid_from_product, grid_mode, saturation_rate
 from .runner import SweepOutcome, SweepRunner, parallel_map, resolve_jobs
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "config_fingerprint",
     "GRID_NAMES",
     "build_grid",
+    "saturation_rate",
     "grid_from_product",
     "grid_mode",
     "SweepOutcome",

@@ -39,8 +39,13 @@ __all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
 #: heterogeneous or non-static point it never simulated.  Schema 3 added the
 #: job-arrival process (open-system mode) and the open-result NPZ layout:
 #: without the arrival fields, a closed point and an open point sharing a
-#: scenario would collide on one digest.
-CACHE_VERSION = 3
+#: scenario would collide on one digest.  Schema 4 added the admission
+#: subsystem (job classes with widths/priorities/think-time sources, the
+#: admission policy and its kwargs) and the per-job width/class/restart
+#: arrays in the open NPZ layout: a schema-3 entry knows nothing about
+#: space sharing, so it must never replay for a classed point (the schema
+#: bump guarantees it cannot — every digest changes).
+CACHE_VERSION = 4
 
 
 def config_fingerprint(config: SimulationConfig, mode: str) -> str:
@@ -100,6 +105,29 @@ def config_fingerprint(config: SimulationConfig, mode: str) -> str:
                 ],
                 "max_concurrent_jobs": int(scenario.arrivals.max_concurrent_jobs),
                 "warmup_fraction": float(scenario.arrivals.warmup_fraction),
+                "job_classes": [
+                    {
+                        "name": str(job_class.name),
+                        "width": int(job_class.width),
+                        "priority": int(job_class.priority),
+                        "weight": float(job_class.weight),
+                        "population": int(job_class.population),
+                        "think_time": (
+                            None
+                            if job_class.think_time is None
+                            else float(job_class.think_time)
+                        ),
+                        "think_time_kind": str(job_class.think_time_kind),
+                        "think_time_kwargs": [
+                            list(pair) for pair in job_class.think_time_kwargs
+                        ],
+                    }
+                    for job_class in scenario.arrivals.job_classes
+                ],
+                "admission_policy": str(scenario.arrivals.admission_policy),
+                "admission_kwargs": [
+                    list(pair) for pair in scenario.arrivals.admission_kwargs
+                ],
             }
         ),
     }
@@ -152,6 +180,9 @@ class ResultCache:
                             "start_times",
                             "end_times",
                             "demands",
+                            "widths",
+                            "class_ids",
+                            "restarts",
                         )
                     }
                 else:
@@ -195,11 +226,16 @@ class ResultCache:
             else float(result.measured_owner_utilization)
         )
         if isinstance(result, OpenSystemResult):
+            # Width/class/restart arrays are materialized from their classless
+            # defaults so every schema-4 entry carries the full layout.
             arrays = {
                 "arrival_times": np.asarray(result.arrival_times, dtype=np.float64),
                 "start_times": np.asarray(result.start_times, dtype=np.float64),
                 "end_times": np.asarray(result.end_times, dtype=np.float64),
                 "demands": np.asarray(result.demands, dtype=np.float64),
+                "widths": np.asarray(result.job_widths, dtype=np.float64),
+                "class_ids": np.asarray(result.job_class_ids, dtype=np.float64),
+                "restarts": np.asarray(result.job_restarts, dtype=np.float64),
             }
         else:
             arrays = {

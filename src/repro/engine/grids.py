@@ -15,21 +15,24 @@ per-node demand ``T``); ``validation`` is the Section-2.2 grid at the paper's
 the paper: ``hetero-concentration`` skews a fixed average owner load across
 the cluster (the heterogeneous extension of :mod:`repro.core.heterogeneous`),
 ``policy-compare`` runs the same cluster under each task-scheduling policy of
-:mod:`repro.cluster.policies` on the event-driven backend, and
-``arrival-sweep`` opens the system — a Poisson stream of competing parallel
-jobs at normalized arrival rates — to measure steady-state queueing metrics
-on the open-system backend.
+:mod:`repro.cluster.policies` on the event-driven backend, ``arrival-sweep``
+opens the system — a Poisson stream of competing parallel jobs at normalized
+arrival rates — to measure steady-state queueing metrics on the open-system
+backend, and ``admission-sweep`` space-shares it: mixes of moldable job
+widths admitted by each policy of :mod:`repro.cluster.admission`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from ..cluster.admission import ADMISSION_POLICY_NAMES
 from ..cluster.policies import POLICY_NAMES
 from ..cluster.simulation import SimulationConfig
 from ..core.heterogeneous import concentrated_utilizations
 from ..core.params import (
     JobArrivalSpec,
+    JobClassSpec,
     OwnerSpec,
     ScenarioSpec,
     TaskRounding,
@@ -37,7 +40,24 @@ from ..core.params import (
 )
 from ..desim import StreamRegistry
 
-__all__ = ["GRID_NAMES", "build_grid", "grid_mode", "grid_from_product"]
+__all__ = [
+    "GRID_NAMES",
+    "build_grid",
+    "grid_mode",
+    "grid_from_product",
+    "saturation_rate",
+]
+
+
+def saturation_rate(utilization: float, task_demand: float) -> float:
+    """Saturation throughput ``W * (1 - U) / J = (1 - U) / T`` of one point.
+
+    The best-case completion rate of perfectly balanced whole-cluster jobs
+    whose owners absorb a fraction ``U`` of each station; every open-system
+    family (and the registered queueing figure) normalizes its arrival rates
+    against this single definition.
+    """
+    return (1.0 - float(utilization)) / float(task_demand)
 
 #: Owner utilizations plotted in the paper's Figures 1-9.
 _PAPER_UTILIZATIONS: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20)
@@ -62,6 +82,14 @@ _DEFAULT_ARRIVAL_RATES: tuple[float, ...] = (0.25, 0.5, 0.75)
 #: so each point simulates a longer horizon than a closed run).
 _ARRIVAL_WORKSTATIONS: tuple[int, ...] = (4, 8, 16)
 
+#: Defaults of the admission (space-sharing) family: each point mixes a
+#: narrow class (width swept below) with a full-width class and races the
+#: admission policies on the same stream.
+_ADMISSION_WORKSTATIONS: tuple[int, ...] = (8, 16)
+_DEFAULT_JOB_WIDTHS: tuple[int, ...] = (2, 4)
+_DEFAULT_ADMISSION_POLICIES: tuple[str, ...] = ADMISSION_POLICY_NAMES
+_DEFAULT_ADMISSION_RATES: tuple[float, ...] = (0.5,)
+
 #: name -> (kind, demand, default num_jobs, backend mode); ``fixed`` reads
 #: demand as the total job size ``J``, ``scaled`` as the constant per-node
 #: demand ``T``; ``concentration`` and ``policy`` are ``fixed``-demand
@@ -78,6 +106,7 @@ _GRIDS: dict[str, tuple[str, float, int, str]] = {
     "hetero-concentration": ("concentration", 1000.0, 2000, "monte-carlo"),
     "policy-compare": ("policy", 1000.0, 400, "event-driven"),
     "arrival-sweep": ("arrival", 1000.0, 400, "open-system"),
+    "admission-sweep": ("admission", 1000.0, 300, "open-system"),
 }
 
 GRID_NAMES: tuple[str, ...] = tuple(_GRIDS)
@@ -269,10 +298,7 @@ def _arrival_grid(
             task_demand = split_job_demand(
                 job_demand, int(workstations), TaskRounding.ROUND
             )
-            saturation = (
-                int(workstations) * (1.0 - float(utilization))
-                / (task_demand * int(workstations))
-            )
+            saturation = saturation_rate(utilization, task_demand)
             for rate in arrival_rates:
                 if not 0.0 < float(rate) < 1.0:
                     raise ValueError(
@@ -302,6 +328,98 @@ def _arrival_grid(
     return configs
 
 
+def _admission_grid(
+    name: str,
+    job_demand: float,
+    workstation_counts: Sequence[int],
+    utilizations: Sequence[float],
+    widths: Sequence[int],
+    admission_policies: Sequence[str],
+    arrival_rates: Sequence[float],
+    *,
+    owner_demand: float,
+    num_jobs: int,
+    num_batches: int,
+    confidence: float,
+    seed: int,
+) -> list[SimulationConfig]:
+    """Space-sharing family: moldable widths × admission policies.
+
+    Every point streams a Poisson mix of two moldable classes — a ``narrow``
+    class at the swept width (75% of arrivals) and a full-width ``wide``
+    class at higher priority (25%) — through one admission policy, so the
+    grid answers the space-sharing question head on: how much response time
+    does each discipline recover from head-of-line blocking?  Rates are
+    normalized to the full-cluster saturation throughput ``W * (1 - U) / J``
+    (packing losses make the true saturation lower, so keep them modest).
+    Width/``W`` combinations where the narrow width does not fit are skipped.
+    """
+    for policy in admission_policies:
+        if policy not in ADMISSION_POLICY_NAMES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"known policies: {sorted(ADMISSION_POLICY_NAMES)}"
+            )
+    streams = StreamRegistry(seed)
+    configs: list[SimulationConfig] = []
+    for utilization in utilizations:
+        owner = OwnerSpec(demand=owner_demand, utilization=float(utilization))
+        for workstations in workstation_counts:
+            task_demand = split_job_demand(
+                job_demand, int(workstations), TaskRounding.ROUND
+            )
+            saturation = saturation_rate(utilization, task_demand)
+            for width in widths:
+                if not 1 <= int(width) <= int(workstations):
+                    continue
+                classes = (
+                    JobClassSpec(
+                        "narrow", width=int(width), weight=0.75, priority=0
+                    ),
+                    JobClassSpec(
+                        "wide", width=int(workstations), weight=0.25, priority=1
+                    ),
+                )
+                for policy in admission_policies:
+                    for rate in arrival_rates:
+                        if not 0.0 < float(rate) < 1.0:
+                            raise ValueError(
+                                "normalized arrival rates must lie in (0, 1) "
+                                f"so the queue is stable, got {rate!r}"
+                            )
+                        arrivals = JobArrivalSpec.poisson(
+                            rate=float(rate) * saturation,
+                            demand_kind="deterministic",
+                            job_classes=classes,
+                            admission_policy=str(policy),
+                        )
+                        scenario = ScenarioSpec.homogeneous(
+                            int(workstations), owner, arrivals=arrivals
+                        )
+                        point_seed = streams.derive_seed(
+                            f"{name}/U={float(utilization):g}"
+                            f"/W={int(workstations)}/T={float(task_demand):g}"
+                            f"/w={int(width)}/adm={policy}"
+                            f"/rate={float(rate):g}"
+                        )
+                        configs.append(
+                            SimulationConfig.from_scenario(
+                                scenario,
+                                task_demand=task_demand,
+                                num_jobs=num_jobs,
+                                num_batches=num_batches,
+                                confidence=confidence,
+                                seed=point_seed,
+                            )
+                        )
+    if not configs:
+        raise ValueError(
+            f"admission grid is empty: no width in {tuple(widths)!r} fits any "
+            f"workstation count in {tuple(workstation_counts)!r}"
+        )
+    return configs
+
+
 def build_grid(
     name: str,
     *,
@@ -315,15 +433,18 @@ def build_grid(
     concentration_levels: Sequence[float] | None = None,
     policies: Sequence[str] | None = None,
     arrival_rates: Sequence[float] | None = None,
+    job_widths: Sequence[int] | None = None,
+    admission_policies: Sequence[str] | None = None,
 ) -> list[SimulationConfig]:
     """Build the config list of a named grid (dimensions overridable).
 
     ``concentration_levels`` applies only to the ``hetero-concentration``
     family (where ``utilizations`` are the *cluster-average* utilizations),
-    ``policies`` only to ``policy-compare`` and ``arrival_rates`` (normalized
-    to each point's saturation throughput, in ``(0, 1)``) only to
-    ``arrival-sweep``; passing one for a grid that has no such axis raises
-    ``ValueError``.
+    ``policies`` only to ``policy-compare``, ``arrival_rates`` (normalized to
+    each point's saturation throughput, in ``(0, 1)``) to ``arrival-sweep``
+    and ``admission-sweep``, and ``job_widths`` / ``admission_policies`` only
+    to ``admission-sweep``; passing one for a grid that has no such axis
+    raises ``ValueError``.
     """
     try:
         kind, demand, default_jobs, _ = _GRIDS[name]
@@ -339,9 +460,18 @@ def build_grid(
         raise ValueError(
             f"grid {name!r} has no policy axis (only policy-compare does)"
         )
-    if arrival_rates is not None and kind != "arrival":
+    if arrival_rates is not None and kind not in ("arrival", "admission"):
         raise ValueError(
-            f"grid {name!r} has no arrival-rate axis (only arrival-sweep does)"
+            f"grid {name!r} has no arrival-rate axis "
+            "(only arrival-sweep and admission-sweep do)"
+        )
+    if job_widths is not None and kind != "admission":
+        raise ValueError(
+            f"grid {name!r} has no job-width axis (only admission-sweep does)"
+        )
+    if admission_policies is not None and kind != "admission":
+        raise ValueError(
+            f"grid {name!r} has no admission-policy axis (only admission-sweep does)"
         )
     if utilizations is None:
         utilizations = _PAPER_UTILIZATIONS if kind != "concentration" else (0.10,)
@@ -401,6 +531,38 @@ def build_grid(
             )
         )
         return _arrival_grid(name, demand, counts, utils, rates, **common)
+    if kind == "admission":
+        counts = tuple(
+            int(w)
+            for w in (
+                workstation_counts
+                if workstation_counts is not None
+                else _ADMISSION_WORKSTATIONS
+            )
+        )
+        widths = tuple(
+            int(w)
+            for w in (job_widths if job_widths is not None else _DEFAULT_JOB_WIDTHS)
+        )
+        chosen = tuple(
+            str(p)
+            for p in (
+                admission_policies
+                if admission_policies is not None
+                else _DEFAULT_ADMISSION_POLICIES
+            )
+        )
+        rates = tuple(
+            float(r)
+            for r in (
+                arrival_rates
+                if arrival_rates is not None
+                else _DEFAULT_ADMISSION_RATES
+            )
+        )
+        return _admission_grid(
+            name, demand, counts, utils, widths, chosen, rates, **common
+        )
     counts = tuple(
         int(w)
         for w in (

@@ -1,15 +1,29 @@
-"""Open-system (job-stream) experiment: queueing metrics under contention.
+"""Open-system (job-stream) experiments: queueing metrics under contention.
 
 The paper's feasibility argument is framed around one parallel job running
 alone on the non-dedicated cluster.  Real clusters serve a *stream* of
 competing parallel jobs, where the deciding metric is response time under
 contention rather than standalone speedup (the framing of the gang-scheduling
-and dynamic-coscheduling literature for networks of workstations).  This
-experiment sweeps a Poisson arrival stream over the event-driven cluster —
-via the ``arrival-sweep`` grid and the ``open-system`` backend — and tabulates
-the steady-state queueing metrics: mean and 95th-percentile response time,
-slowdown, throughput and parallel utilization, each with the warmup-truncated
-batch-means machinery behind the confidence interval.
+and dynamic-coscheduling literature for networks of workstations).  Three
+experiments build on the open-system backend:
+
+``open_system_experiment``
+    Sweeps a Poisson stream over the ``arrival-sweep`` grid and tabulates the
+    steady-state queueing metrics — mean/p95/p99/max response time, slowdown,
+    throughput and parallel utilization — one row per grid point.
+
+``admission_experiment``
+    Space-shares the cluster through the ``admission-sweep`` grid: a mix of
+    narrow and full-width moldable job classes admitted by each policy of
+    :mod:`repro.cluster.admission`, with the per-class means flattened into
+    the row metrics so FCFS head-of-line blocking, EASY backfilling and
+    preemptive priority can be compared directly.
+
+``response_time_curves``
+    The ROADMAP's "queueing figure": mean response time versus normalized
+    arrival rate, one curve per task-scheduling policy, assembled from the
+    same :class:`QueueingRow` machinery into a
+    :class:`~repro.experiments.figures.FigureResult`.
 """
 
 from __future__ import annotations
@@ -17,10 +31,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..cluster.simulation import OpenSystemResult
-from ..engine import SweepRunner, build_grid
+import numpy as np
 
-__all__ = ["QueueingRow", "open_system_experiment"]
+from ..cluster.policies import POLICY_NAMES
+from ..cluster.simulation import OpenSystemResult, SimulationConfig
+from ..core.params import (
+    JobArrivalSpec,
+    OwnerSpec,
+    ScenarioSpec,
+    TaskRounding,
+    split_job_demand,
+)
+from ..desim import StreamRegistry
+from ..engine import SweepRunner, build_grid, saturation_rate
+
+__all__ = [
+    "QueueingRow",
+    "open_system_experiment",
+    "admission_experiment",
+    "response_time_curves",
+]
 
 
 @dataclass(frozen=True)
@@ -33,6 +63,41 @@ class QueueingRow:
 
     def as_dict(self) -> dict[str, object]:
         return {"label": self.label, **self.parameters, **self.metrics}
+
+
+def _queueing_row(
+    result: OpenSystemResult,
+    *,
+    label_extra: str = "",
+    parameters_extra: dict[str, float] | None = None,
+    per_class: bool = False,
+) -> QueueingRow:
+    """Build one row from a completed open-system point.
+
+    With ``per_class`` the per-class means are flattened into the metrics as
+    ``<class>_mean_response`` / ``<class>_mean_slowdown`` keys.
+    """
+    cfg = result.config
+    spec = result.arrival_spec
+    metrics = result.metrics()
+    if per_class:
+        for name, stats in result.class_metrics().items():
+            metrics[f"{name}_mean_response"] = stats["mean_response_time"]
+            metrics[f"{name}_mean_slowdown"] = stats["mean_slowdown"]
+    return QueueingRow(
+        label=(
+            f"W={cfg.workstations} "
+            f"U={cfg.nominal_owner_utilization:g} "
+            f"lambda={spec.mean_rate:.4g}{label_extra}"
+        ),
+        parameters={
+            "workstations": float(cfg.workstations),
+            "utilization": float(cfg.nominal_owner_utilization),
+            "arrival_rate": float(spec.mean_rate),
+            **(parameters_extra or {}),
+        },
+        metrics=metrics,
+    )
 
 
 def open_system_experiment(
@@ -66,21 +131,143 @@ def open_system_experiment(
     rows: list[QueueingRow] = []
     for result in outcome:
         assert isinstance(result, OpenSystemResult)
-        cfg = result.config
+        rows.append(_queueing_row(result))
+    return rows
+
+
+def admission_experiment(
+    workstation_counts: Sequence[int] = (8,),
+    utilizations: Sequence[float] = (0.10,),
+    job_widths: Sequence[int] = (2, 4),
+    admission_policies: Sequence[str] | None = None,
+    arrival_rates: Sequence[float] = (0.5,),
+    num_jobs: int = 300,
+    num_batches: int = 10,
+    seed: int = 0,
+    jobs: int | None = 1,
+) -> list[QueueingRow]:
+    """Space-sharing table: moldable widths × admission policies.
+
+    Each row is one ``admission-sweep`` point — a 75/25 mix of a narrow and a
+    full-width (higher-priority) job class admitted by one policy — with the
+    overall queueing metrics plus the per-class mean response/slowdown
+    flattened in, so the head-of-line cost of FCFS and the recovery from
+    backfilling or preemptive priority are read straight off the table.
+    """
+    configs = build_grid(
+        "admission-sweep",
+        workstation_counts=tuple(workstation_counts),
+        utilizations=tuple(utilizations),
+        job_widths=tuple(job_widths),
+        admission_policies=(
+            None if admission_policies is None else tuple(admission_policies)
+        ),
+        arrival_rates=tuple(arrival_rates),
+        num_jobs=num_jobs,
+        num_batches=num_batches,
+        seed=seed,
+    )
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="open-system")
+    rows: list[QueueingRow] = []
+    for result in outcome:
+        assert isinstance(result, OpenSystemResult)
         spec = result.arrival_spec
+        narrow_width = spec.job_classes[0].width
         rows.append(
-            QueueingRow(
-                label=(
-                    f"W={cfg.workstations} "
-                    f"U={cfg.nominal_owner_utilization:g} "
-                    f"lambda={spec.mean_rate:.4g}"
+            _queueing_row(
+                result,
+                label_extra=(
+                    f" w={narrow_width} adm={spec.admission_policy}"
                 ),
-                parameters={
-                    "workstations": float(cfg.workstations),
-                    "utilization": float(cfg.nominal_owner_utilization),
-                    "arrival_rate": float(spec.mean_rate),
-                },
-                metrics=result.metrics(),
+                parameters_extra={"narrow_width": float(narrow_width)},
+                per_class=True,
             )
         )
     return rows
+
+
+def response_time_curves(
+    workstations: int = 8,
+    utilization: float = 0.10,
+    arrival_rates: Sequence[float] = (0.3, 0.5, 0.7, 0.85),
+    policies: Sequence[str] = POLICY_NAMES,
+    job_demand: float = 1000.0,
+    num_jobs: int = 240,
+    num_batches: int = 8,
+    seed: int = 0,
+    jobs: int | None = 1,
+):
+    """Mean response time vs normalized load, one curve per scheduling policy.
+
+    This is the ``arrival-sweep`` grid promoted to a registered figure: the
+    same homogeneous cluster and Poisson stream are run under each
+    task-scheduling policy of :mod:`repro.cluster.policies`, so the figure
+    shows whether dynamic scheduling (which shortens each job's makespan)
+    also flattens the queueing curve as the system approaches saturation.
+    Returns a :class:`~repro.experiments.figures.FigureResult`.
+    """
+    from .figures import FigureResult
+
+    owner = OwnerSpec(demand=10.0, utilization=float(utilization))
+    task_demand = split_job_demand(job_demand, workstations, TaskRounding.ROUND)
+    saturation = saturation_rate(utilization, task_demand)
+    streams = StreamRegistry(seed)
+    rates = tuple(float(rate) for rate in arrival_rates)
+    # One flat (policy x rate) grid through a single sweep, so the worker
+    # pool parallelizes across the whole figure rather than one curve.
+    points: list[tuple[str, float]] = [
+        (str(policy), rate) for policy in policies for rate in rates
+    ]
+    configs = []
+    for policy, rate in points:
+        scenario = ScenarioSpec.homogeneous(
+            workstations,
+            owner,
+            policy=policy,
+            arrivals=JobArrivalSpec.poisson(rate=rate * saturation),
+        )
+        point_seed = streams.derive_seed(
+            f"open-system-response/U={float(utilization):g}"
+            f"/W={workstations}/policy={policy}/rate={rate:g}"
+        )
+        configs.append(
+            SimulationConfig.from_scenario(
+                scenario,
+                task_demand=task_demand,
+                num_jobs=num_jobs,
+                num_batches=num_batches,
+                seed=point_seed,
+            )
+        )
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="open-system")
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    rows: list[QueueingRow] = []
+    means: dict[str, list[float]] = {}
+    for (policy, rate), result in zip(points, outcome):
+        assert isinstance(result, OpenSystemResult)
+        rows.append(
+            _queueing_row(
+                result,
+                label_extra=f" policy={policy}",
+                parameters_extra={"normalized_rate": rate},
+            )
+        )
+        means.setdefault(policy, []).append(result.mean_response_time)
+    for policy, values in means.items():
+        series[policy] = (np.asarray(rates), np.asarray(values))
+    return FigureResult(
+        figure_id="open-system-response",
+        title=(
+            "Mean response time vs normalized arrival rate "
+            f"(W={workstations}, U={utilization:g})"
+        ),
+        x_label="normalized arrival rate (fraction of saturation)",
+        y_label="mean response time",
+        series=series,
+        metadata={
+            "workstations": workstations,
+            "utilization": utilization,
+            "num_jobs": num_jobs,
+            "rows": [row.as_dict() for row in rows],
+        },
+    )

@@ -109,10 +109,25 @@ EXPERIMENTS: Mapping[str, Experiment] = {
         ),
         Experiment(
             "open_system",
-            "Open-system job stream: mean/p95 response time, slowdown, "
+            "Open-system job stream: mean/p95/p99/max response time, slowdown, "
             "throughput and utilization vs normalized Poisson arrival rate",
             open_system.open_system_experiment,
             kind="queueing",
+        ),
+        Experiment(
+            "admission",
+            "Space-sharing admission: moldable job widths under FCFS, "
+            "EASY backfilling and (preemptive) priority, with per-class "
+            "response times",
+            open_system.admission_experiment,
+            kind="queueing",
+        ),
+        Experiment(
+            "open-system-response",
+            "Queueing figure: mean response time vs normalized arrival rate, "
+            "one curve per task-scheduling policy",
+            open_system.response_time_curves,
+            kind="figure",
         ),
         Experiment(
             "ablation-scheduling",

@@ -363,6 +363,8 @@ class TestQueueingMetrics:
         assert set(metrics) == {
             "mean_response_time",
             "p95_response_time",
+            "p99_response_time",
+            "max_response_time",
             "mean_wait_time",
             "mean_slowdown",
             "throughput",
@@ -370,6 +372,7 @@ class TestQueueingMetrics:
             "response_ci_half_width",
             "completed_jobs",
             "warmup_jobs",
+            "admission_preemptions",
         }
 
     def test_summary_renders(self):
