@@ -6,10 +6,18 @@ each and asserting the engine's contract: all three paths return bitwise
 identical job-time samples, and the cached replay performs zero simulations.
 The parallel-speedup assertion only applies when the machine actually has a
 second CPU to use.
+
+A second case races the *vectorized* path on a heterogeneous concentration
+grid against the scalar per-config path, asserting the >= 3x speedup the
+group-max batched sampler delivers plus statistical agreement within the
+batch-means CI, and emits a ``BENCH_sweep.json`` artifact (CI uploads it) so
+the speedup is tracked across commits.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -70,3 +78,56 @@ def test_sweep_engine_serial_vs_parallel(once, tmp_path):
     assert replay_time < serial_time
     if (os.cpu_count() or 1) >= 2:
         assert parallel.elapsed_seconds < serial_time
+
+
+#: A heterogeneous concentration grid: 3 shared-shape groups of 6 configs,
+#: per-station owner-probability rows varying within each group.
+HETERO_KWARGS = dict(
+    num_jobs=20_000,
+    workstation_counts=(8, 16, 32),
+    utilizations=(0.05, 0.10),
+    concentration_levels=(0.0, 0.5, 1.0),
+)
+
+#: Where the JSON artifact lands (override with BENCH_DIR, e.g. in CI).
+BENCH_ARTIFACT = Path(os.environ.get("BENCH_DIR", ".")) / "BENCH_sweep.json"
+
+
+def test_sweep_engine_vectorized_heterogeneous(once):
+    """Vectorized heterogeneous sweep: >= 3x over scalar, CI-level agreement."""
+    grid = build_grid("hetero-concentration", **HETERO_KWARGS)
+
+    scalar_time, scalar = _timed(SweepRunner(jobs=1), grid)
+    fast = once(SweepRunner(jobs=1).run_vectorized, grid)
+
+    # The whole grid batches: one group per (W, T) cell, nothing degrades.
+    assert len(fast) == len(grid)
+    assert fast.vectorized_groups == 3
+    assert fast.fallback_points == 0
+
+    # Statistical agreement: scalar and batched means within the summed CI.
+    for a, b in zip(scalar, fast):
+        tolerance = (
+            a.job_time_interval.half_width + b.job_time_interval.half_width
+        )
+        assert abs(a.mean_job_time - b.mean_job_time) <= tolerance
+
+    speedup = scalar_time / fast.elapsed_seconds
+    record = {
+        "grid": "hetero-concentration",
+        "points": len(grid),
+        "num_jobs": HETERO_KWARGS["num_jobs"],
+        "scalar_seconds": scalar_time,
+        "vectorized_seconds": fast.elapsed_seconds,
+        "speedup": speedup,
+        "vectorized_groups": fast.vectorized_groups,
+        "fallback_points": fast.fallback_points,
+        "cpus": float(os.cpu_count() or 1),
+    }
+    BENCH_ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(format_mapping(f"vectorized heterogeneous sweep, {len(grid)} points", record))
+
+    # The acceptance bar: the batched path must beat scalar by >= 3x.
+    assert speedup >= 3.0, f"vectorized speedup {speedup:.2f}x below the 3x bar"

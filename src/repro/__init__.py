@@ -11,7 +11,10 @@ The package is organised as:
 * :mod:`repro.desim` — a process-oriented discrete-event simulation kernel
   (the CSIM substitute);
 * :mod:`repro.stats` — batch means and confidence intervals;
-* :mod:`repro.cluster` — the non-dedicated workstation-cluster simulator;
+* :mod:`repro.backends` — the pluggable simulation back-ends (discrete-time,
+  Monte-Carlo, event-driven, open-system) behind a registry;
+* :mod:`repro.cluster` — the non-dedicated workstation-cluster substrate
+  (workstations, owners, scheduling policies, admission);
 * :mod:`repro.pvm` — a PVM-like message-passing substrate in simulated time;
 * :mod:`repro.workload` — owner-activity traces and the local-computation
   problem ladder;

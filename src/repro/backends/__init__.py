@@ -1,0 +1,53 @@
+"""Pluggable simulation back-ends for the non-dedicated cluster model.
+
+Four back-ends are provided, in increasing order of generality — the faithful
+:class:`DiscreteTimeSimulator`, the vectorised :class:`MonteCarloSampler`,
+the process-oriented :class:`EventDrivenClusterSimulator` and the job-stream
+:class:`OpenSystemSimulator` — each registered under its mode name in the
+backend registry defined by :mod:`repro.backends.base`.  Every dispatching
+layer (``run_simulation``, the sweep runner, the result cache, the grid
+tables, the CLI ``--mode`` choices) resolves back-ends through
+:func:`get_backend`, so a new backend registered with
+:func:`register_backend` is available end-to-end without touching any of
+them.
+
+The modules import in dependency order; importing this package registers all
+built-in back-ends.  ``repro.cluster.simulation`` remains as a thin
+re-export shim so pre-existing imports keep working unchanged.
+"""
+
+from .base import (
+    BackendCapabilities,
+    SimulationBackend,
+    SimulationConfig,
+    SimulationMode,
+    SimulationResult,
+    backend_names,
+    get_backend,
+    register_backend,
+    run_simulation,
+    validate_against_analysis,
+)
+from .discrete import DiscreteTimeSimulator, simulate_task_discrete
+from .event_driven import EventDrivenClusterSimulator
+from .monte_carlo import MonteCarloSampler
+from .open_system import OpenSystemResult, OpenSystemSimulator
+
+__all__ = [
+    "BackendCapabilities",
+    "SimulationBackend",
+    "SimulationConfig",
+    "SimulationMode",
+    "SimulationResult",
+    "OpenSystemResult",
+    "DiscreteTimeSimulator",
+    "MonteCarloSampler",
+    "EventDrivenClusterSimulator",
+    "OpenSystemSimulator",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "run_simulation",
+    "simulate_task_discrete",
+    "validate_against_analysis",
+]

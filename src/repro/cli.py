@@ -50,6 +50,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from .backends import backend_names
 from .core import JobSpec, OwnerSpec, SystemSpec, TaskRounding, assess_feasibility
 from .engine import GRID_NAMES, SweepRunner, build_grid, grid_mode
 from .experiments import (
@@ -128,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--mode", default=None,
-        choices=("monte-carlo", "discrete-time", "event-driven", "open-system"),
+        choices=backend_names(),
         help="simulation backend (default: the grid's backend)",
     )
     sweep_parser.add_argument(

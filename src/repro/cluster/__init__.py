@@ -36,19 +36,51 @@ from .policies import (
     StaticPartition,
     make_policy,
 )
-from .simulation import (
-    DiscreteTimeSimulator,
-    EventDrivenClusterSimulator,
-    MonteCarloSampler,
-    OpenSystemResult,
-    OpenSystemSimulator,
-    SimulationConfig,
-    SimulationResult,
-    run_simulation,
-    simulate_task_discrete,
-    validate_against_analysis,
-)
 from .workstation import TaskExecution, Workstation
+
+#: Names re-exported from the simulation shim (now :mod:`repro.backends`).
+#: They resolve lazily via module ``__getattr__`` so importing this package
+#: never races the backends package, which imports the leaf modules above
+#: while it initialises (PEP 562).
+_SIMULATION_EXPORTS = frozenset(
+    {
+        "DiscreteTimeSimulator",
+        "EventDrivenClusterSimulator",
+        "MonteCarloSampler",
+        "OpenSystemResult",
+        "OpenSystemSimulator",
+        "SimulationConfig",
+        "SimulationResult",
+        "run_simulation",
+        "simulate_task_discrete",
+        "validate_against_analysis",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name == "simulation":
+        # Attribute-style access (``repro.cluster.simulation.run_simulation``)
+        # used to work because the eager import bound the submodule; keep it
+        # working by importing the shim on first touch.  ``import_module``
+        # (not ``from . import``) avoids re-entering this __getattr__ while
+        # the shim itself is mid-import.
+        import importlib
+        import sys
+
+        module = sys.modules.get(f"{__name__}.simulation")
+        if module is None:
+            module = importlib.import_module(".simulation", __name__)
+        return module
+    if name in _SIMULATION_EXPORTS:
+        from .. import backends
+
+        return getattr(backends, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _SIMULATION_EXPORTS | {"simulation"})
 
 __all__ = [
     "AdmissionController",

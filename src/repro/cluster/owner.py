@@ -21,6 +21,7 @@ from ..desim import (
     Environment,
     GeometricVariate,
     Interrupt,
+    SequenceVariate,
     Variate,
     make_variate,
 )
@@ -93,6 +94,39 @@ class OwnerBehavior:
             think = GeometricVariate(spec.request_probability)
         demand = make_variate(demand_kind, spec.demand, **demand_kwargs)
         return cls(think_time=think, demand=demand)
+
+    @classmethod
+    def from_trace(cls, trace) -> "OwnerBehavior":
+        """Replay a recorded :class:`~repro.workload.OwnerActivityTrace`.
+
+        The owner's think/use cycle is rebuilt from the trace's busy
+        intervals as deterministic :class:`~repro.desim.SequenceVariate`
+        sequences: the first think period runs from the trace origin to the
+        first burst, subsequent think periods are the recorded inter-burst
+        gaps, and once the horizon is exhausted the trace wraps around (the
+        gap from the last burst's end through the horizon to the first
+        burst's start) so arbitrarily long simulations keep replaying the
+        measured activity.  The implied long-run utilization equals the
+        trace's measured utilization exactly.  A trace with no bursts yields
+        an idle owner.
+        """
+        intervals = tuple(trace.busy_intervals)
+        if not intervals:
+            return cls(
+                think_time=DeterministicVariate(float("inf")),
+                demand=DeterministicVariate(0.0),
+            )
+        starts = tuple(start for start, _ in intervals)
+        ends = tuple(end for _, end in intervals)
+        demands = tuple(end - start for start, end in intervals)
+        gaps = tuple(
+            starts[index] - ends[index - 1] for index in range(1, len(intervals))
+        )
+        wrap_gap = (float(trace.horizon) - ends[-1]) + starts[0]
+        return cls(
+            think_time=SequenceVariate(values=gaps + (wrap_gap,), prefix=(starts[0],)),
+            demand=SequenceVariate(values=demands),
+        )
 
     def with_demand_kind(self, kind: str, **kwargs) -> "OwnerBehavior":
         """Copy of this behaviour with a different demand distribution, same mean."""

@@ -1,67 +1,34 @@
-"""Simulators for the non-dedicated cluster model.
+"""Compatibility shim: the simulators now live in :mod:`repro.backends`.
 
-Three simulation back-ends are provided, in increasing order of generality:
+This module used to hold all four simulation back-ends in one 1,270-line
+monolith.  They were split into the :mod:`repro.backends` package — one
+module per backend plus :mod:`repro.backends.base` for the
+``SimulationBackend`` protocol and the ``register_backend()`` registry that
+replaced the hardcoded ``_BACKENDS`` dict — and every name that used to be
+importable from here is re-exported unchanged, so pre-existing imports
+(``from repro.cluster.simulation import MonteCarloSampler``) keep working.
 
-``DiscreteTimeSimulator``
-    A faithful unit-by-unit walk of the paper's discrete-time model: a task
-    executes one unit of work, then the owner requests the CPU with
-    probability ``P`` and, if it does, runs for ``O`` units.  This is the
-    closest analogue of the authors' CSIM validation model and is used in the
-    tests to cross-check the other back-ends (it is exact but slow).
-
-``MonteCarloSampler``
-    A vectorised sampler exploiting the model's closed form: the number of
-    interruptions per task is ``Binomial(T, P)``, so task and job times can be
-    drawn directly with numpy.  Statistically identical to the discrete-time
-    walk but orders of magnitude faster; this is the production back-end for
-    the simulation-validation experiment (20 batches x 1000 samples).
-
-``EventDrivenClusterSimulator``
-    A full process-oriented simulation on :mod:`repro.desim` with explicit
-    workstations, continuously cycling owners and preemptive CPUs.  It relaxes
-    the analytical model's optimistic assumptions (owner idle when the task
-    arrives, deterministic owner demands, at most one request per unit of
-    work) and therefore supports the paper's "future work" ablations:
-    owner-demand variance and task imbalance.
-
-``OpenSystemSimulator``
-    The event-driven cluster under a *stream* of parallel jobs
-    (:class:`~repro.core.params.JobArrivalSpec`): jobs arrive over time,
-    queue for admission and compete for the same non-dedicated stations.
-    Where the closed back-ends estimate standalone job time, this one
-    estimates steady-state queueing metrics — response time, slowdown,
-    throughput, utilization — with warmup truncation and batch means.
+New code should import from :mod:`repro.backends` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import cached_property
-from typing import Literal, Sequence
-
-import numpy as np
-
-from ..core.analytical import evaluate_inputs
-from ..core.params import (
-    STATIC_POLICY,
-    JobArrivalSpec,
-    ModelInputs,
-    OwnerSpec,
-    ScenarioSpec,
-    request_probability_to_utilization,
+from ..backends.base import (
+    BackendCapabilities,
+    SimulationBackend,
+    SimulationConfig,
+    SimulationMode,
+    SimulationResult,
+    backend_names,
+    get_backend,
+    register_backend,
+    run_simulation,
+    validate_against_analysis,
 )
-from ..desim import Environment, Interrupt, Resource, StreamRegistry, make_variate
-from ..stats import (
-    BatchMeansResult,
-    batch_means_interval,
-    steady_state_interval,
-    summarize_replications,
-    warmup_truncate,
-)
-from .job import JobResult, OpenJobRecord, balanced_tasks, imbalanced_tasks
-from .owner import OwnerBehavior
-from .policies import make_policy
-from .workstation import Workstation
+from ..backends.discrete import DiscreteTimeSimulator, simulate_task_discrete
+from ..backends.event_driven import EventDrivenClusterSimulator, _split_demands
+from ..backends.monte_carlo import MonteCarloSampler
+from ..backends.open_system import OpenSystemResult, OpenSystemSimulator
 
 __all__ = [
     "SimulationConfig",
@@ -74,1197 +41,10 @@ __all__ = [
     "OpenSystemSimulator",
     "run_simulation",
     "validate_against_analysis",
+    "SimulationBackend",
+    "BackendCapabilities",
+    "SimulationMode",
+    "backend_names",
+    "get_backend",
+    "register_backend",
 ]
-
-
-@dataclass(frozen=True)
-class SimulationConfig:
-    """Configuration shared by all cluster-simulation back-ends.
-
-    Without a ``scenario``, this is the paper's homogeneous model (every
-    workstation shares ``owner``, the static one-task-per-station discipline)
-    and the config acts as a thin convenience constructor over
-    :class:`~repro.core.params.ScenarioSpec` — :attr:`effective_scenario`
-    builds the equivalent ``W``-identical-stations scenario, and the back-ends
-    consume only that.  Passing an explicit
-    :class:`~repro.core.params.ScenarioSpec` unlocks heterogeneous owners and
-    non-static scheduling policies on the same back-ends.
-
-    Attributes
-    ----------
-    workstations:
-        Number of workstations ``W`` (must match the scenario, if given).
-    task_demand:
-        Per-task demand ``T`` in time units.
-    owner:
-        Analytical owner spec (demand ``O`` plus utilization / ``P``).  With a
-        heterogeneous scenario this is only the representative (first)
-        station's owner; reporting uses the scenario's per-station specs.
-    num_jobs:
-        Number of job completions to sample.  The paper uses
-        20 batches x 1000 samples = 20 000.
-    num_batches:
-        Batches for the batch-means confidence interval (paper: 20).
-    confidence:
-        Confidence level for the interval (paper: 0.90).
-    seed:
-        Seed for the reproducible random streams.
-    owner_demand_kind:
-        Distribution family for the owner demand in the event-driven backend
-        ("deterministic", "exponential", "hyperexponential", ...).
-    owner_demand_kwargs:
-        Extra parameters for the demand distribution (e.g. ``squared_cv``).
-    imbalance:
-        Relative task-demand imbalance for the event-driven backend
-        (0 = perfectly balanced, the paper's assumption).
-    scenario:
-        Optional generalized scenario (per-station owners, scheduling
-        policy).  ``None`` means the homogeneous scenario implied by the
-        fields above.
-    """
-
-    workstations: int
-    task_demand: float
-    owner: OwnerSpec
-    num_jobs: int = 2000
-    num_batches: int = 20
-    confidence: float = 0.90
-    seed: int = 0
-    owner_demand_kind: str = "deterministic"
-    owner_demand_kwargs: dict = field(default_factory=dict)
-    imbalance: float = 0.0
-    scenario: ScenarioSpec | None = None
-
-    def __post_init__(self) -> None:
-        if self.workstations < 1:
-            raise ValueError(f"workstations must be >= 1, got {self.workstations!r}")
-        if self.task_demand <= 0:
-            raise ValueError(f"task_demand must be positive, got {self.task_demand!r}")
-        if self.num_jobs < 1:
-            raise ValueError(f"num_jobs must be >= 1, got {self.num_jobs!r}")
-        if self.num_batches < 2:
-            raise ValueError(f"num_batches must be >= 2, got {self.num_batches!r}")
-        if self.num_jobs < self.num_batches and not (
-            self.scenario is not None and self.scenario.is_open
-        ):
-            # Closed back-ends always form a batch-means CI over num_jobs
-            # observations; the open-system backend degrades to a point
-            # estimate (interval = None) instead, so a short job stream —
-            # e.g. the single-arrival reduction scenario — stays expressible.
-            raise ValueError(
-                f"num_jobs ({self.num_jobs}) must be >= num_batches "
-                f"({self.num_batches})"
-            )
-        if not 0.0 <= self.imbalance < 1.0:
-            raise ValueError(f"imbalance must be in [0, 1), got {self.imbalance!r}")
-        if self.scenario is not None:
-            if self.scenario.workstations != self.workstations:
-                raise ValueError(
-                    f"scenario has {self.scenario.workstations} stations but "
-                    f"workstations={self.workstations}; build the config via "
-                    "SimulationConfig.from_scenario to keep them in sync"
-                )
-            if self.imbalance != self.scenario.imbalance:
-                if self.imbalance != 0.0:
-                    raise ValueError(
-                        f"conflicting imbalance: config says {self.imbalance!r}, "
-                        f"scenario says {self.scenario.imbalance!r}"
-                    )
-                object.__setattr__(self, "imbalance", self.scenario.imbalance)
-
-    @classmethod
-    def from_scenario(
-        cls,
-        scenario: ScenarioSpec,
-        task_demand: float,
-        *,
-        num_jobs: int = 2000,
-        num_batches: int = 20,
-        confidence: float = 0.90,
-        seed: int = 0,
-    ) -> "SimulationConfig":
-        """Build a config around an explicit scenario.
-
-        The legacy homogeneous fields are filled from the scenario's first
-        station so rendering helpers keep working; the back-ends read the
-        scenario itself.
-        """
-        first = scenario.stations[0]
-        return cls(
-            workstations=scenario.workstations,
-            task_demand=task_demand,
-            owner=first.owner,
-            num_jobs=num_jobs,
-            num_batches=num_batches,
-            confidence=confidence,
-            seed=seed,
-            owner_demand_kind=first.demand_kind,
-            owner_demand_kwargs=dict(first.demand_kwargs),
-            imbalance=scenario.imbalance,
-            scenario=scenario,
-        )
-
-    @property
-    def effective_scenario(self) -> ScenarioSpec:
-        """The scenario the back-ends execute.
-
-        Either the explicit :attr:`scenario`, or the homogeneous
-        ``W``-identical-stations scenario implied by the legacy fields.
-        """
-        if self.scenario is not None:
-            return self.scenario
-        return ScenarioSpec.homogeneous(
-            self.workstations,
-            self.owner,
-            demand_kind=self.owner_demand_kind,
-            demand_kwargs=self.owner_demand_kwargs,
-            policy=STATIC_POLICY,
-            imbalance=self.imbalance,
-        )
-
-    @property
-    def job_demand(self) -> float:
-        """Total job demand ``J = T * W``."""
-        return self.task_demand * self.workstations
-
-    @property
-    def nominal_owner_utilization(self) -> float:
-        """Nominal owner utilization ``U`` used for reporting and metrics.
-
-        For a heterogeneous scenario this is the cluster-average utilization
-        (the convention of the analytical extension in
-        :mod:`repro.core.heterogeneous`); for the homogeneous case it is the
-        owner's ``U``, derived via Eq. 8 when the spec was given as a request
-        probability so a probability-specified owner is never silently
-        treated as ``U = 0``.
-        """
-        if self.scenario is not None and not self.scenario.is_homogeneous:
-            return self.scenario.mean_utilization
-        if self.owner.utilization is not None:
-            return float(self.owner.utilization)
-        assert self.owner.request_probability is not None
-        return request_probability_to_utilization(
-            self.owner.request_probability, self.owner.demand
-        )
-
-    @property
-    def model_inputs(self) -> ModelInputs:
-        """The analytical-model inputs corresponding to this configuration.
-
-        Only defined for homogeneous scenarios — the paper's closed forms
-        take a single ``(O, P)`` pair.  Heterogeneous scenarios are evaluated
-        against :mod:`repro.core.heterogeneous` instead.
-        """
-        if self.scenario is not None and not self.scenario.is_homogeneous:
-            raise ValueError(
-                "model_inputs is only defined for homogeneous scenarios; use "
-                "repro.core.heterogeneous for per-station owner specs"
-            )
-        assert self.owner.request_probability is not None
-        return ModelInputs(
-            task_demand=self.task_demand,
-            workstations=self.workstations,
-            owner_demand=self.owner.demand,
-            request_probability=self.owner.request_probability,
-        )
-
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Estimates produced by one simulation run."""
-
-    config: SimulationConfig
-    mode: str
-    job_times: np.ndarray
-    task_times: np.ndarray
-    job_time_interval: BatchMeansResult
-    measured_owner_utilization: float | None = None
-
-    @property
-    def mean_job_time(self) -> float:
-        """Point estimate of ``E_j``."""
-        return float(np.mean(self.job_times))
-
-    @property
-    def mean_task_time(self) -> float:
-        """Point estimate of ``E_t``."""
-        return float(np.mean(self.task_times))
-
-    @property
-    def num_jobs(self) -> int:
-        return int(self.job_times.size)
-
-    def speedup(self) -> float:
-        """Measured speedup ``J / mean job time``."""
-        return self.config.job_demand / self.mean_job_time
-
-    def weighted_efficiency(self) -> float:
-        """Measured weighted efficiency.
-
-        Uses the owner utilization the simulation actually experienced: the
-        event-driven backend reports a measured value, which is preferred;
-        otherwise the nominal ``U`` is derived from the owner spec (via Eq. 8
-        when the spec was given as a request probability, so a
-        probability-specified owner is never silently treated as ``U = 0``).
-        """
-        u = (
-            self.measured_owner_utilization
-            if self.measured_owner_utilization is not None
-            else self.config.nominal_owner_utilization
-        )
-        return self.config.job_demand / (
-            (1.0 - u) * self.mean_job_time * self.config.workstations
-        )
-
-    def summary(self) -> str:
-        ci = self.job_time_interval.interval
-        scenario = self.config.effective_scenario
-        extras = ""
-        if not scenario.is_homogeneous:
-            extras += f" U_max={scenario.max_utilization:.3f}"
-        if scenario.policy != STATIC_POLICY:
-            extras += f" policy={scenario.policy}"
-        return (
-            f"[{self.mode}] W={self.config.workstations} T={self.config.task_demand} "
-            f"U={self.config.nominal_owner_utilization:.3f}{extras}: "
-            f"E_t≈{self.mean_task_time:.2f}, E_j≈{self.mean_job_time:.2f} "
-            f"± {ci.half_width:.2f} ({ci.confidence:.0%} CI, "
-            f"{self.num_jobs} jobs)"
-        )
-
-
-def _static_scenario(config: SimulationConfig, mode: str) -> ScenarioSpec:
-    """Resolve a config's scenario for a model-faithful (discrete) backend.
-
-    The discrete-time walk and the Monte-Carlo sampler implement the paper's
-    closed-form model, which has no notion of work redistribution — only the
-    static one-task-per-station policy is expressible.  (Per-station *owners*
-    are fine: the model's job time is the max of independent, not necessarily
-    identically distributed, task times.)  As with the homogeneous config,
-    these back-ends use each owner's mean demand; ``demand_kind`` shapes only
-    the event-driven backend.
-    """
-    scenario = config.effective_scenario
-    if scenario.policy != STATIC_POLICY:
-        raise ValueError(
-            f"the {mode} backend models the paper's static one-task-per-"
-            f"station discipline; scheduling policy {scenario.policy!r} "
-            "requires the event-driven backend"
-        )
-    _reject_open_scenario(scenario, mode)
-    return scenario
-
-
-def _split_demands(
-    total_demand: float,
-    scenario: ScenarioSpec,
-    workstations: int,
-    placement_rng: np.random.Generator,
-) -> np.ndarray:
-    """Per-station task demands of one job under the scenario's placement.
-
-    Shared by the closed and open event-driven back-ends — the bitwise
-    open-to-closed reduction relies on both splitting jobs identically.
-    """
-    if scenario.imbalance == 0.0:
-        return balanced_tasks(total_demand, workstations)
-    return imbalanced_tasks(
-        total_demand, workstations, scenario.imbalance, placement_rng
-    )
-
-
-def _reject_open_scenario(scenario: ScenarioSpec, mode: str) -> None:
-    """Refuse to run an open (job-stream) scenario on a closed backend."""
-    if scenario.is_open:
-        raise ValueError(
-            f"the {mode} backend runs the paper's closed system (one job at a "
-            "time); a scenario with a job-arrival process requires the "
-            "'open-system' mode"
-        )
-
-
-def _integral_task_demand(task_demand: float, mode: str) -> int:
-    """Validate that a discrete backend received an integer task demand.
-
-    The discrete-time walk and the Monte-Carlo sampler treat ``T`` as the
-    binomial trial count, so a fractional demand cannot be honoured — and
-    silently rounding it (to 0 in the worst case) distorts results without
-    warning.  The event-driven backend and the analytical closed forms accept
-    fractional ``T``; use those (or :class:`~repro.core.params.TaskRounding`)
-    for non-integral demands.
-    """
-    if float(task_demand) != int(task_demand):
-        raise ValueError(
-            f"the {mode} backend requires an integral task_demand (it is the "
-            f"binomial trial count), got {task_demand!r}; round it explicitly "
-            "via TaskRounding or use the event-driven backend"
-        )
-    return int(task_demand)
-
-
-def simulate_task_discrete(
-    task_demand: int,
-    owner_demand: float,
-    request_probability: float,
-    rng: np.random.Generator,
-) -> tuple[float, int]:
-    """Unit-by-unit discrete-time walk of one task (the paper's model, literally).
-
-    The task performs ``task_demand`` units of work; after each unit the owner
-    requests the CPU with probability ``P`` and, if so, runs ``O`` units while
-    the task is suspended.  Returns ``(task_time, interruptions)``.
-    """
-    if int(task_demand) != task_demand or task_demand < 1:
-        raise ValueError(f"task_demand must be a positive integer, got {task_demand!r}")
-    time = 0.0
-    interruptions = 0
-    for _ in range(int(task_demand)):
-        time += 1.0
-        if request_probability > 0.0 and rng.random() < request_probability:
-            time += owner_demand
-            interruptions += 1
-    return time, interruptions
-
-
-class DiscreteTimeSimulator:
-    """Faithful (slow) discrete-time simulation of the paper's model."""
-
-    mode = "discrete-time"
-
-    def __init__(self, config: SimulationConfig) -> None:
-        self.config = config
-        self._streams = StreamRegistry(config.seed)
-
-    def run(self) -> SimulationResult:
-        """Simulate ``num_jobs`` independent jobs and return the estimates."""
-        cfg = self.config
-        scenario = _static_scenario(cfg, self.mode)
-        probabilities = [station.request_probability for station in scenario.stations]
-        demands = [station.owner.demand for station in scenario.stations]
-        rng = self._streams.stream("discrete-time")
-        t = _integral_task_demand(cfg.task_demand, self.mode)
-        job_times = np.empty(cfg.num_jobs, dtype=np.float64)
-        task_times = np.empty((cfg.num_jobs, cfg.workstations), dtype=np.float64)
-        for j in range(cfg.num_jobs):
-            for w in range(cfg.workstations):
-                task_time, _ = simulate_task_discrete(
-                    t, demands[w], probabilities[w], rng
-                )
-                task_times[j, w] = task_time
-            job_times[j] = task_times[j].max()
-        return SimulationResult(
-            config=cfg,
-            mode=self.mode,
-            job_times=job_times,
-            task_times=task_times.ravel(),
-            job_time_interval=batch_means_interval(
-                job_times, cfg.num_batches, cfg.confidence
-            ),
-        )
-
-
-class MonteCarloSampler:
-    """Vectorised direct sampler of the analytical model's closed form."""
-
-    mode = "monte-carlo"
-
-    def __init__(self, config: SimulationConfig) -> None:
-        self.config = config
-        self._streams = StreamRegistry(config.seed)
-
-    def sample_interruptions(self, num_jobs: int | None = None) -> np.ndarray:
-        """Sample the per-task interruption counts, shape ``(num_jobs, W)``.
-
-        Station ``w``'s count is ``Binomial(T, P_w)``; for a homogeneous
-        scenario all stations share one ``P`` and the draw is bit-for-bit the
-        classic homogeneous sample (numpy consumes the stream identically for
-        a scalar and an equal-valued vector ``p``).
-        """
-        cfg = self.config
-        scenario = _static_scenario(cfg, self.mode)
-        probabilities = np.array(
-            [station.request_probability for station in scenario.stations]
-        )
-        rng = self._streams.stream("monte-carlo")
-        n = num_jobs if num_jobs is not None else cfg.num_jobs
-        t = _integral_task_demand(cfg.task_demand, self.mode)
-        return rng.binomial(t, probabilities, size=(n, cfg.workstations))
-
-    def run(self) -> SimulationResult:
-        """Sample ``num_jobs`` jobs and return the estimates."""
-        cfg = self.config
-        scenario = _static_scenario(cfg, self.mode)
-        owner_demands = np.array(
-            [station.owner.demand for station in scenario.stations]
-        )
-        t = _integral_task_demand(cfg.task_demand, self.mode)
-        interruptions = self.sample_interruptions()
-        task_times = t + interruptions * owner_demands
-        job_times = task_times.max(axis=1).astype(np.float64)
-        return SimulationResult(
-            config=cfg,
-            mode=self.mode,
-            job_times=job_times,
-            task_times=task_times.ravel().astype(np.float64),
-            job_time_interval=batch_means_interval(
-                job_times, cfg.num_batches, cfg.confidence
-            ),
-        )
-
-    @classmethod
-    def run_batch(
-        cls,
-        configs: Sequence[SimulationConfig],
-        seed: int | None = None,
-    ) -> list[SimulationResult]:
-        """Sample several configs sharing one ``(W, T)`` cell in a single draw.
-
-        A utilization sweep evaluates the same ``(W, T, num_jobs)`` grid cell
-        under ``k`` different owner request probabilities; this path stacks
-        those probabilities and draws the full ``(k, num_jobs, W)`` binomial
-        interruption tensor in one vectorised numpy call instead of ``k``
-        separate sampler runs.  Heterogeneous (static-policy) scenarios
-        batch too: each config contributes its per-station probability row.
-        Statistically identical to per-config :meth:`run` calls but *not*
-        bitwise (the batch shares a single stream seeded from ``seed``,
-        default: the first config's seed).
-        """
-        if not configs:
-            return []
-        first = configs[0]
-        t = _integral_task_demand(first.task_demand, cls.mode)
-        for cfg in configs[1:]:
-            if (
-                cfg.workstations != first.workstations
-                or float(cfg.task_demand) != float(first.task_demand)
-                or cfg.num_jobs != first.num_jobs
-                or cfg.num_batches != first.num_batches
-                or cfg.confidence != first.confidence
-            ):
-                raise ValueError(
-                    "run_batch requires configs sharing workstations, "
-                    "task_demand, num_jobs, num_batches and confidence; "
-                    f"got {cfg!r} vs {first!r}"
-                )
-        streams = StreamRegistry(seed if seed is not None else first.seed)
-        rng = streams.stream("monte-carlo-batch")
-        workstations = first.workstations
-        probabilities = np.empty((len(configs), 1, workstations), dtype=np.float64)
-        demands = np.empty((len(configs), 1, workstations), dtype=np.float64)
-        for i, cfg in enumerate(configs):
-            scenario = _static_scenario(cfg, cls.mode)
-            probabilities[i, 0, :] = [
-                station.request_probability for station in scenario.stations
-            ]
-            demands[i, 0, :] = [
-                station.owner.demand for station in scenario.stations
-            ]
-        interruptions = rng.binomial(
-            t,
-            probabilities,
-            size=(len(configs), first.num_jobs, first.workstations),
-        )
-        task_times = t + interruptions * demands
-        results: list[SimulationResult] = []
-        for i, cfg in enumerate(configs):
-            job_times = task_times[i].max(axis=1).astype(np.float64)
-            results.append(
-                SimulationResult(
-                    config=cfg,
-                    mode=cls.mode,
-                    job_times=job_times,
-                    task_times=task_times[i].ravel().astype(np.float64),
-                    job_time_interval=batch_means_interval(
-                        job_times, cfg.num_batches, cfg.confidence
-                    ),
-                )
-            )
-        return results
-
-
-class EventDrivenClusterSimulator:
-    """Full process-oriented simulation with explicit workstations and owners.
-
-    Unlike the two model-faithful back-ends above, owners here cycle
-    continuously (they may be mid-service when a task arrives), owner demands
-    may follow any variate, and the task split may be imbalanced.  This is the
-    back-end used by the ablation experiments.
-    """
-
-    mode = "event-driven"
-
-    def __init__(self, config: SimulationConfig) -> None:
-        self.config = config
-        self._streams = StreamRegistry(config.seed)
-
-    def _build_cluster(self, env: Environment) -> list[Workstation]:
-        stations = []
-        for w, spec in enumerate(self.config.effective_scenario.stations):
-            behavior = OwnerBehavior.from_spec(
-                spec.owner, spec.demand_kind, **dict(spec.demand_kwargs)
-            )
-            station = Workstation(
-                env, w, behavior, self._streams.stream(f"owner-{w}")
-            )
-            station.start_owner()
-            stations.append(station)
-        return stations
-
-    def run(self) -> SimulationResult:
-        """Run ``num_jobs`` back-to-back jobs on a persistent cluster."""
-        cfg = self.config
-        scenario = cfg.effective_scenario
-        _reject_open_scenario(scenario, self.mode)
-        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
-        env = Environment()
-        stations = self._build_cluster(env)
-        placement_rng = self._streams.stream("placement")
-
-        job_times = np.empty(cfg.num_jobs, dtype=np.float64)
-        task_times: list[float] = []
-        results: list[JobResult] = []
-
-        def run_one_job(job_id: int):
-            start = env.now
-            demands = _split_demands(
-                cfg.job_demand, scenario, cfg.workstations, placement_rng
-            )
-            tasks = yield from policy.run_job(env, stations, demands)
-            results.append(JobResult(job_id=job_id, start_time=start, tasks=tasks))
-
-        def driver():
-            for job_id in range(cfg.num_jobs):
-                yield env.process(run_one_job(job_id))
-
-        driver_proc = env.process(driver())
-        # Owners cycle forever, so run only until the driver has finished all jobs.
-        env.run(until=driver_proc)
-
-        for i, job in enumerate(results):
-            job_times[i] = job.response_time
-            task_times.extend(task.execution_time for task in job.tasks)
-
-        measured_util = float(
-            np.mean([s.measured_owner_utilization() for s in stations])
-        )
-        return SimulationResult(
-            config=cfg,
-            mode=self.mode,
-            job_times=job_times,
-            task_times=np.asarray(task_times, dtype=np.float64),
-            job_time_interval=batch_means_interval(
-                job_times, cfg.num_batches, cfg.confidence
-            ),
-            measured_owner_utilization=measured_util,
-        )
-
-
-@dataclass(frozen=True)
-class OpenSystemResult:
-    """Steady-state queueing estimates of one open-system (job-stream) run.
-
-    The raw per-job records are kept as parallel arrays in *arrival order*
-    (so the result round-trips through the NPZ cache); every queueing metric
-    is derived, with response times taken in *completion* order and the
-    warmup prefix truncated per the arrival spec before steady-state
-    statistics are formed.
-
-    Space-shared (job-class) streams additionally carry per-job ``widths``,
-    ``class_ids`` and ``restarts`` arrays; classless streams leave them
-    ``None``, meaning every job spanned the whole cluster as class 0 with no
-    admission preemptions.
-    """
-
-    config: SimulationConfig
-    mode: str
-    arrival_times: np.ndarray
-    start_times: np.ndarray
-    end_times: np.ndarray
-    demands: np.ndarray
-    measured_owner_utilization: float | None = None
-    widths: np.ndarray | None = None
-    class_ids: np.ndarray | None = None
-    restarts: np.ndarray | None = None
-
-    @property
-    def arrival_spec(self) -> JobArrivalSpec:
-        spec = self.config.effective_scenario.arrivals
-        assert spec is not None
-        return spec
-
-    @property
-    def num_jobs(self) -> int:
-        return int(self.arrival_times.size)
-
-    @cached_property
-    def job_widths(self) -> np.ndarray:
-        """Per-job station widths (whole cluster for classless streams)."""
-        if self.widths is not None:
-            return self.widths
-        return np.full(self.num_jobs, float(self.config.workstations))
-
-    @cached_property
-    def job_class_ids(self) -> np.ndarray:
-        """Per-job class indices (all zero for classless streams)."""
-        if self.class_ids is not None:
-            return self.class_ids
-        return np.zeros(self.num_jobs, dtype=np.float64)
-
-    @cached_property
-    def job_restarts(self) -> np.ndarray:
-        """Per-job admission-preemption counts (zero for classless streams)."""
-        if self.restarts is not None:
-            return self.restarts
-        return np.zeros(self.num_jobs, dtype=np.float64)
-
-    @cached_property
-    def completion_order(self) -> np.ndarray:
-        """Indices of the jobs sorted by completion time (stable for ties)."""
-        return np.argsort(self.end_times, kind="stable")
-
-    @cached_property
-    def response_times(self) -> np.ndarray:
-        """Arrival-to-completion times, in completion order."""
-        order = self.completion_order
-        return (self.end_times - self.arrival_times)[order]
-
-    @cached_property
-    def wait_times(self) -> np.ndarray:
-        """Admission-queue waiting times, in completion order."""
-        order = self.completion_order
-        return (self.start_times - self.arrival_times)[order]
-
-    @cached_property
-    def service_times(self) -> np.ndarray:
-        """On-cluster makespans (the closed-system job times), in completion order."""
-        order = self.completion_order
-        return (self.end_times - self.start_times)[order]
-
-    @cached_property
-    def slowdowns(self) -> np.ndarray:
-        """Per-job slowdown: response time over the ideal dedicated makespan.
-
-        The ideal reference is ``demand / width`` — the job's makespan on its
-        *own* stations, dedicated and perfectly balanced (``width = W`` for
-        classless streams) — so a slowdown of 1 means the job saw neither
-        queueing delay nor owner interference.
-        """
-        order = self.completion_order
-        ideal = (self.demands / self.job_widths)[order]
-        return (self.end_times - self.arrival_times)[order] / ideal
-
-    @cached_property
-    def warmup_jobs(self) -> int:
-        """How many earliest-completed jobs the warmup truncation discards."""
-        return self.num_jobs - warmup_truncate(
-            self.response_times, self.arrival_spec.warmup_fraction
-        ).size
-
-    @cached_property
-    def steady_response_times(self) -> np.ndarray:
-        """Post-warmup response times (the batch-means input)."""
-        return warmup_truncate(
-            self.response_times, self.arrival_spec.warmup_fraction
-        )
-
-    @cached_property
-    def response_time_interval(self) -> BatchMeansResult | None:
-        """Batch-means CI over the post-warmup response times.
-
-        ``None`` when fewer post-warmup completions than batches exist (e.g.
-        the single-arrival reduction scenario).
-        """
-        return steady_state_interval(
-            self.response_times,
-            self.arrival_spec.warmup_fraction,
-            self.config.num_batches,
-            self.config.confidence,
-        )
-
-    # -- scalar queueing metrics ------------------------------------------
-
-    @property
-    def mean_response_time(self) -> float:
-        return float(np.mean(self.steady_response_times))
-
-    @property
-    def p95_response_time(self) -> float:
-        return float(np.percentile(self.steady_response_times, 95.0))
-
-    @property
-    def p99_response_time(self) -> float:
-        return float(np.percentile(self.steady_response_times, 99.0))
-
-    @property
-    def max_response_time(self) -> float:
-        return float(np.max(self.steady_response_times))
-
-    @property
-    def total_admission_preemptions(self) -> float:
-        """Total kill-and-requeue evictions across the run (0 unless the
-        priority admission policy runs preemptively)."""
-        return float(np.sum(self.job_restarts))
-
-    @property
-    def mean_wait_time(self) -> float:
-        return float(
-            np.mean(
-                warmup_truncate(self.wait_times, self.arrival_spec.warmup_fraction)
-            )
-        )
-
-    @property
-    def mean_slowdown(self) -> float:
-        return float(
-            np.mean(
-                warmup_truncate(self.slowdowns, self.arrival_spec.warmup_fraction)
-            )
-        )
-
-    @property
-    def makespan(self) -> float:
-        """Time at which the last job completed."""
-        return float(np.max(self.end_times))
-
-    @property
-    def throughput(self) -> float:
-        """Completed jobs per unit time over the whole run."""
-        return self.num_jobs / self.makespan
-
-    @property
-    def parallel_utilization(self) -> float:
-        """Fraction of total cluster capacity spent on parallel work."""
-        return float(np.sum(self.demands)) / (
-            self.config.workstations * self.makespan
-        )
-
-    def metrics(self) -> dict[str, float]:
-        """The steady-state queueing metrics as a flat mapping (for reports)."""
-        interval = self.response_time_interval
-        return {
-            "mean_response_time": self.mean_response_time,
-            "p95_response_time": self.p95_response_time,
-            "p99_response_time": self.p99_response_time,
-            "max_response_time": self.max_response_time,
-            "mean_wait_time": self.mean_wait_time,
-            "mean_slowdown": self.mean_slowdown,
-            "throughput": self.throughput,
-            "parallel_utilization": self.parallel_utilization,
-            "response_ci_half_width": (
-                float("nan") if interval is None else interval.half_width
-            ),
-            "completed_jobs": float(self.num_jobs),
-            "warmup_jobs": float(self.warmup_jobs),
-            "admission_preemptions": self.total_admission_preemptions,
-        }
-
-    def class_metrics(self) -> dict[str, dict[str, float]]:
-        """Steady-state metrics split by job class (space-shared streams only).
-
-        Post-warmup jobs are grouped by the arrival spec's class order; a
-        class with no post-warmup completion reports NaN means.  Classless
-        streams return an empty mapping.
-        """
-        spec = self.arrival_spec
-        if not spec.job_classes:
-            return {}
-        order = self.completion_order
-        steady = slice(self.warmup_jobs, None)
-        ids = self.job_class_ids[order][steady]
-        responses = self.response_times[steady]
-        waits = self.wait_times[steady]
-        slowdowns = self.slowdowns[steady]
-        out: dict[str, dict[str, float]] = {}
-        for index, job_class in enumerate(spec.job_classes):
-            mask = ids == float(index)
-            count = int(np.sum(mask))
-            if count == 0:
-                stats = {
-                    "mean_response_time": float("nan"),
-                    "p95_response_time": float("nan"),
-                    "mean_wait_time": float("nan"),
-                    "mean_slowdown": float("nan"),
-                }
-            else:
-                stats = {
-                    "mean_response_time": float(np.mean(responses[mask])),
-                    "p95_response_time": float(
-                        np.percentile(responses[mask], 95.0)
-                    ),
-                    "mean_wait_time": float(np.mean(waits[mask])),
-                    "mean_slowdown": float(np.mean(slowdowns[mask])),
-                }
-            stats["completed_jobs"] = float(count)
-            stats["width"] = float(job_class.width)
-            out[job_class.name] = stats
-        return out
-
-    def summary(self) -> str:
-        cfg = self.config
-        spec = self.arrival_spec
-        interval = self.response_time_interval
-        ci = (
-            ""
-            if interval is None
-            else (
-                f" ± {interval.half_width:.2f} "
-                f"({interval.interval.confidence:.0%} CI)"
-            )
-        )
-        extras = ""
-        if spec.job_classes:
-            widths = "/".join(str(c.width) for c in spec.job_classes)
-            extras = f" adm={spec.admission_policy} w={widths}"
-        return (
-            f"[{self.mode}] W={cfg.workstations} T={cfg.task_demand} "
-            f"U={cfg.nominal_owner_utilization:.3f} "
-            f"{spec.kind}@{spec.mean_rate:.4g}{extras}: "
-            f"R≈{self.mean_response_time:.2f}{ci}, "
-            f"p95={self.p95_response_time:.2f}, "
-            f"p99={self.p99_response_time:.2f}, "
-            f"slowdown≈{self.mean_slowdown:.2f}, "
-            f"X={self.throughput:.4g}, util={self.parallel_utilization:.3f} "
-            f"({self.num_jobs} jobs, {self.warmup_jobs} warmup)"
-        )
-
-
-class OpenSystemSimulator(EventDrivenClusterSimulator):
-    """Event-driven cluster fed by a stream of competing parallel jobs.
-
-    Jobs arrive per the scenario's :class:`~repro.core.params.JobArrivalSpec`,
-    wait in an admission queue and run under the scenario's scheduling policy
-    on the same non-dedicated workstations as the closed-system backend.
-
-    A *classless* spec is the PR-3 stream: FIFO admission of whole-cluster
-    jobs, at most ``max_concurrent_jobs`` at once.  A spec with
-    :class:`~repro.core.params.JobClassSpec` entries instead routes through
-    the admission subsystem (:mod:`repro.cluster.admission`): each job
-    requests its class's width, is granted an exclusive station *subset* by
-    the configured admission policy (FCFS, EASY backfilling, priority with
-    optional preemptive kill-and-requeue), and closed-loop classes are driven
-    by think-time sources rather than the interarrival process.
-
-    The owner and placement random streams are created in the exact order of
-    the closed backend (and both admission paths share the same dispatch
-    mechanics), so a single job arriving at time 0 reproduces the closed
-    system's first job bitwise, and a single full-width FCFS class reproduces
-    the classless stream bitwise — the reductions the regression tests pin.
-    """
-
-    mode = "open-system"
-
-    def run(self) -> OpenSystemResult:  # type: ignore[override]
-        """Simulate ``num_jobs`` arrivals and return the queueing estimates."""
-        cfg = self.config
-        scenario = cfg.effective_scenario
-        spec = scenario.arrivals
-        if spec is None:
-            raise ValueError(
-                "the open-system backend needs a scenario with a job-arrival "
-                "process; set ScenarioSpec.arrivals (e.g. via "
-                "JobArrivalSpec.poisson) or use a closed backend"
-            )
-        if spec.is_space_shared:
-            return self._run_space_shared(cfg, scenario, spec)
-        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
-        env = Environment()
-        # Stream creation order matches the closed event-driven backend
-        # (owners, then placement) so the single-arrival reduction is bitwise.
-        stations = self._build_cluster(env)
-        placement_rng = self._streams.stream("placement")
-        arrival_rng = self._streams.stream("arrivals")
-        demand_rng = self._streams.stream("job-demands")
-        demand_variate = make_variate(
-            spec.demand_kind, cfg.job_demand, **dict(spec.demand_kwargs)
-        )
-        admission = Resource(env, capacity=spec.max_concurrent_jobs)
-
-        records: list[OpenJobRecord] = []
-        job_procs = []
-
-        def run_one_job(record: OpenJobRecord):
-            with admission.request() as req:
-                yield req
-                record.start_time = env.now
-                demands = _split_demands(
-                    record.demand, scenario, cfg.workstations, placement_rng
-                )
-                tasks = yield from policy.run_job(env, stations, demands)
-                record.end_time = env.now
-                record.tasks = tuple(tasks)
-
-        def source():
-            mean_gap = spec.mean_interarrival
-            for job_id in range(cfg.num_jobs):
-                gap = spec.interarrival(job_id)
-                if gap is None:
-                    gap = float(arrival_rng.exponential(mean_gap))
-                yield env.timeout(gap)
-                demand = float(demand_variate.sample(demand_rng))
-                while demand <= 0.0:
-                    demand = float(demand_variate.sample(demand_rng))
-                record = OpenJobRecord(
-                    job_id=job_id, arrival_time=env.now, demand=demand
-                )
-                records.append(record)
-                job_procs.append(env.process(run_one_job(record)))
-
-        source_proc = env.process(source())
-        # Owners cycle forever: run until all arrivals are in, then drain the
-        # in-flight jobs.
-        env.run(until=source_proc)
-        if job_procs:
-            env.run(until=env.all_of(job_procs))
-
-        measured_util = float(
-            np.mean([s.measured_owner_utilization() for s in stations])
-        )
-        return OpenSystemResult(
-            config=cfg,
-            mode=self.mode,
-            arrival_times=np.array(
-                [r.arrival_time for r in records], dtype=np.float64
-            ),
-            start_times=np.array([r.start_time for r in records], dtype=np.float64),
-            end_times=np.array([r.end_time for r in records], dtype=np.float64),
-            demands=np.array([r.demand for r in records], dtype=np.float64),
-            measured_owner_utilization=measured_util,
-        )
-
-    def _run_space_shared(
-        self, cfg: SimulationConfig, scenario: ScenarioSpec, spec: JobArrivalSpec
-    ) -> OpenSystemResult:
-        """Space-shared engine: moldable job classes under an admission policy.
-
-        Structured exactly like the classless path (same stream-creation
-        order, same synchronous admission dispatch, same per-job wrapper
-        shape) so that a single full-width FCFS class is bitwise-identical to
-        the classless stream; the extra streams (class mixing, think times)
-        are created *after* the shared ones and a single-class mix draws
-        nothing from them.
-        """
-        from .admission import AdmissionController, AdmissionPreemption, make_admission_policy
-
-        classes = spec.job_classes
-        for job_class in classes:
-            if job_class.width > cfg.workstations:
-                raise ValueError(
-                    f"job class {job_class.name!r} requests width "
-                    f"{job_class.width} on a {cfg.workstations}-station cluster"
-                )
-        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
-        admission_policy = make_admission_policy(
-            spec.admission_policy, **dict(spec.admission_kwargs)
-        )
-        env = Environment()
-        # Stream creation order matches the classless path (owners, placement,
-        # arrivals, job-demands) so the full-width FCFS reduction is bitwise.
-        stations = self._build_cluster(env)
-        placement_rng = self._streams.stream("placement")
-        arrival_rng = self._streams.stream("arrivals")
-        demand_rng = self._streams.stream("job-demands")
-        class_rng = self._streams.stream("job-classes")
-        think_rng = self._streams.stream("think-times")
-        demand_variate = make_variate(
-            spec.demand_kind, cfg.job_demand, **dict(spec.demand_kwargs)
-        )
-        mean_util = scenario.mean_utilization
-        controller = AdmissionController(
-            env,
-            stations,
-            admission_policy,
-            estimate_service=lambda demand, width: demand
-            / (width * (1.0 - mean_util)),
-        )
-        self.last_controller = controller
-
-        records: list[OpenJobRecord] = []
-        job_procs = []
-        budget = cfg.num_jobs
-
-        def sample_demand() -> float:
-            demand = float(demand_variate.sample(demand_rng))
-            while demand <= 0.0:
-                demand = float(demand_variate.sample(demand_rng))
-            return demand
-
-        def submit(class_index: int):
-            record = OpenJobRecord(
-                job_id=len(records),
-                arrival_time=env.now,
-                demand=sample_demand(),
-                width=classes[class_index].width,
-                class_id=class_index,
-                priority=classes[class_index].priority,
-            )
-            records.append(record)
-            proc = env.process(run_one_job(record))
-            job_procs.append(proc)
-            return proc
-
-        def run_one_job(record: OpenJobRecord):
-            job_class = classes[record.class_id]
-            while True:
-                ticket = controller.request(
-                    record,
-                    width=job_class.width,
-                    priority=job_class.priority,
-                    class_id=record.class_id,
-                )
-                # The preemption guard spans the admission wait too: a job can
-                # be evicted in the very instant between its admission and its
-                # first resume (it is "running" to the controller but still
-                # parked at the ticket event).
-                try:
-                    yield ticket.event
-                    subset = [stations[index] for index in ticket.stations]
-                    record.start_time = env.now
-                    demands = _split_demands(
-                        record.demand, scenario, job_class.width, placement_rng
-                    )
-                    tasks = yield from policy.run_job(env, subset, demands)
-                except Interrupt as exc:
-                    if isinstance(exc.cause, AdmissionPreemption):
-                        # Evicted by a more important arrival: requeue with
-                        # the full demand (restart semantics).
-                        record.admission_preemptions += 1
-                        continue
-                    raise
-                record.end_time = env.now
-                record.tasks = tuple(tasks)
-                controller.release(record)
-                return
-
-        open_indices = spec.open_class_indices
-        open_index_array = np.array(open_indices, dtype=np.int64)
-        weights = np.array(
-            [classes[index].weight for index in open_indices], dtype=np.float64
-        )
-        if weights.size:
-            weights /= weights.sum()
-
-        def take_budget() -> bool:
-            nonlocal budget
-            if budget <= 0:
-                return False
-            budget -= 1
-            return True
-
-        def open_source():
-            mean_gap = spec.mean_interarrival
-            index = 0
-            while take_budget():
-                gap = spec.interarrival(index)
-                if gap is None:
-                    gap = float(arrival_rng.exponential(mean_gap))
-                index += 1
-                yield env.timeout(gap)
-                if len(open_indices) == 1:
-                    class_index = open_indices[0]
-                else:
-                    class_index = int(
-                        class_rng.choice(open_index_array, p=weights)
-                    )
-                submit(class_index)
-
-        def closed_source(class_index: int):
-            job_class = classes[class_index]
-            think_variate = make_variate(
-                job_class.think_time_kind,
-                job_class.think_time,
-                **dict(job_class.think_time_kwargs),
-            )
-            while True:
-                gap = float(think_variate.sample(think_rng))
-                yield env.timeout(max(gap, 0.0))
-                if not take_budget():
-                    return
-                yield submit(class_index)
-
-        source_procs = []
-        if open_indices:
-            source_procs.append(env.process(open_source()))
-        for class_index in spec.closed_class_indices:
-            for _member in range(classes[class_index].population):
-                source_procs.append(env.process(closed_source(class_index)))
-        # Owners cycle forever: run until every source is done, then drain the
-        # in-flight jobs (closed-loop sources drain their own jobs already).
-        if len(source_procs) == 1:
-            env.run(until=source_procs[0])
-        elif source_procs:
-            env.run(until=env.all_of(source_procs))
-        if job_procs:
-            env.run(until=env.all_of(job_procs))
-
-        measured_util = float(
-            np.mean([s.measured_owner_utilization() for s in stations])
-        )
-        return OpenSystemResult(
-            config=cfg,
-            mode=self.mode,
-            arrival_times=np.array(
-                [r.arrival_time for r in records], dtype=np.float64
-            ),
-            start_times=np.array([r.start_time for r in records], dtype=np.float64),
-            end_times=np.array([r.end_time for r in records], dtype=np.float64),
-            demands=np.array([r.demand for r in records], dtype=np.float64),
-            measured_owner_utilization=measured_util,
-            widths=np.array([r.width for r in records], dtype=np.float64),
-            class_ids=np.array([r.class_id for r in records], dtype=np.float64),
-            restarts=np.array(
-                [r.admission_preemptions for r in records], dtype=np.float64
-            ),
-        )
-
-
-_BACKENDS = {
-    "discrete-time": DiscreteTimeSimulator,
-    "monte-carlo": MonteCarloSampler,
-    "event-driven": EventDrivenClusterSimulator,
-    "open-system": OpenSystemSimulator,
-}
-
-SimulationMode = Literal["discrete-time", "monte-carlo", "event-driven", "open-system"]
-
-
-def run_simulation(
-    config: SimulationConfig, mode: SimulationMode = "monte-carlo"
-) -> SimulationResult | OpenSystemResult:
-    """Run one simulation with the chosen back-end."""
-    try:
-        backend = _BACKENDS[mode]
-    except KeyError:
-        raise ValueError(
-            f"unknown simulation mode {mode!r}; expected one of {sorted(_BACKENDS)}"
-        ) from None
-    return backend(config).run()
-
-
-def validate_against_analysis(
-    config: SimulationConfig, mode: SimulationMode = "monte-carlo"
-) -> dict[str, float]:
-    """Compare a simulation run against the analytical model (Section 2.2).
-
-    Returns the analytic and simulated ``E_t`` / ``E_j`` together with the
-    relative errors and the CI half-width; the paper reports the two were
-    "indistinguishable".
-    """
-    result = run_simulation(config, mode)
-    analytic = evaluate_inputs(config.model_inputs)
-    ej_rel_error = (
-        result.mean_job_time - analytic.expected_job_time
-    ) / analytic.expected_job_time
-    et_rel_error = (
-        result.mean_task_time - analytic.expected_task_time
-    ) / analytic.expected_task_time
-    return {
-        "analytic_task_time": analytic.expected_task_time,
-        "simulated_task_time": result.mean_task_time,
-        "task_time_relative_error": et_rel_error,
-        "analytic_job_time": analytic.expected_job_time,
-        "simulated_job_time": result.mean_job_time,
-        "job_time_relative_error": ej_rel_error,
-        "job_time_ci_half_width": result.job_time_interval.half_width,
-        "job_time_ci_relative_half_width": result.job_time_interval.relative_half_width,
-        "num_jobs": float(result.num_jobs),
-    }

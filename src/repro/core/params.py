@@ -31,7 +31,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workload uses core)
+    from ..workload import OwnerActivityTrace
 
 __all__ = [
     "TaskRounding",
@@ -259,19 +262,87 @@ class StationSpec:
         Distribution family of the owner demand in the event-driven backend
         ("deterministic", "exponential", "hyperexponential", ...).  The
         model-faithful discrete back-ends always use the mean demand, exactly
-        as they did for the homogeneous ``SimulationConfig``.
+        as they did for the homogeneous ``SimulationConfig``.  The special
+        kind ``"trace"`` replays a recorded activity trace instead of
+        sampling distributions (event-driven back-ends only) and requires
+        :attr:`trace`.
     demand_kwargs:
         Extra distribution parameters (e.g. ``squared_cv``), stored as sorted
         ``(name, value)`` pairs so the spec stays hashable and fingerprints
         deterministically; dicts are accepted and canonicalised.
+    trace:
+        Recorded :class:`~repro.workload.OwnerActivityTrace` replayed by the
+        event-driven back-ends when ``demand_kind == "trace"`` (``None``
+        otherwise).  The trace is a frozen value object (horizon plus ordered
+        busy intervals), so the spec stays hashable and fingerprints cover
+        the replayed activity itself rather than its fitted summary.
     """
 
     owner: OwnerSpec
     demand_kind: str = "deterministic"
     demand_kwargs: tuple[tuple[str, float], ...] = ()
+    trace: "OwnerActivityTrace | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "demand_kwargs", _freeze_kwargs(self.demand_kwargs))
+        if self.demand_kind == "trace":
+            if self.trace is None:
+                raise ValueError(
+                    "demand_kind 'trace' needs a recorded trace; pass "
+                    "trace=OwnerActivityTrace(...) or build the spec via "
+                    "StationSpec.from_trace"
+                )
+            for attr in ("horizon", "busy_intervals"):
+                if not hasattr(self.trace, attr):
+                    raise TypeError(
+                        "trace must be an OwnerActivityTrace-like object with "
+                        f"'horizon' and 'busy_intervals'; got {self.trace!r}"
+                    )
+            busy = sum(end - start for start, end in self.trace.busy_intervals)
+            if self.trace.horizon > 0 and busy >= float(self.trace.horizon):
+                # A fully busy owner would preempt the parallel task forever;
+                # guard here (not only in from_trace) so a directly built
+                # spec cannot hang the event-driven backend.
+                raise ValueError(
+                    "trace keeps the owner busy for its whole horizon "
+                    "(utilization >= 1); no parallel work could ever run"
+                )
+            if self.demand_kwargs:
+                raise ValueError(
+                    "demand_kwargs do not apply to a trace replay; got "
+                    f"{self.demand_kwargs!r}"
+                )
+        elif self.trace is not None:
+            raise ValueError(
+                "a trace only applies to demand_kind='trace', got "
+                f"demand_kind={self.demand_kind!r}"
+            )
+
+    @classmethod
+    def from_trace(
+        cls, trace: "OwnerActivityTrace", fallback_demand: float = 10.0
+    ) -> "StationSpec":
+        """A station whose owner replays a recorded activity trace.
+
+        The analytical :class:`OwnerSpec` is derived from the trace's
+        measured statistics — mean busy-burst length and measured utilization
+        — so reporting and the analytical extensions see the fitted
+        equivalent while the event-driven back-ends replay the trace itself.
+        ``fallback_demand`` stands in for the mean burst length of a trace
+        with no (or only zero-length) bursts.
+        """
+        bursts = [end - start for start, end in trace.busy_intervals]
+        mean_burst = (sum(bursts) / len(bursts)) if bursts else 0.0
+        if mean_burst <= 0.0:
+            mean_burst = float(fallback_demand)
+        utilization = float(trace.utilization)
+        if utilization >= 1.0:
+            raise ValueError(
+                "trace keeps the owner busy for its whole horizon "
+                "(utilization >= 1); no parallel work could ever run"
+            )
+        owner = OwnerSpec(demand=mean_burst, utilization=utilization)
+        return cls(owner=owner, demand_kind="trace", trace=trace)
 
     @property
     def utilization(self) -> float:
@@ -788,6 +859,31 @@ class ScenarioSpec:
             OwnerSpec(demand=owner_demand, utilization=float(u)) for u in utilizations
         ]
         return cls.from_owners(owners, **kwargs)
+
+    @classmethod
+    def from_traces(
+        cls,
+        traces: Sequence["OwnerActivityTrace"],
+        *,
+        policy: str = STATIC_POLICY,
+        policy_kwargs: Mapping[str, float] | Iterable[tuple[str, float]] | None = None,
+        imbalance: float = 0.0,
+        arrivals: JobArrivalSpec | None = None,
+    ) -> "ScenarioSpec":
+        """One trace-replaying station per recorded owner-activity trace.
+
+        This is the measured-cluster entry point: feed it the traces of an
+        :func:`~repro.workload.uptime_survey`-style measurement and the
+        event-driven back-ends simulate the recorded owners rather than
+        fitted distributions.
+        """
+        return cls(
+            stations=tuple(StationSpec.from_trace(trace) for trace in traces),
+            policy=policy,
+            policy_kwargs=_freeze_kwargs(policy_kwargs),
+            imbalance=imbalance,
+            arrivals=arrivals,
+        )
 
     # -- derived views -----------------------------------------------------
 

@@ -27,6 +27,7 @@ from .rng import (
     ExponentialVariate,
     GeometricVariate,
     HyperExponentialVariate,
+    SequenceVariate,
     StreamRegistry,
     UniformVariate,
     Variate,
@@ -61,6 +62,7 @@ __all__ = [
     "GeometricVariate",
     "ExponentialVariate",
     "HyperExponentialVariate",
+    "SequenceVariate",
     "UniformVariate",
     "ErlangVariate",
     "StreamRegistry",

@@ -11,7 +11,9 @@ distributions used by the cluster simulator:
   higher-variance owner-demand alternatives the paper lists as future work
   (used by the variance ablation),
 * :class:`UniformVariate` and :class:`ErlangVariate` — additional shapes for
-  sensitivity studies.
+  sensitivity studies,
+* :class:`SequenceVariate` — a deterministic replay of recorded values
+  (the building block of trace-driven owners).
 
 All variates share a tiny ``sample(rng)`` protocol so the simulator can be
 parameterised with any of them.
@@ -32,6 +34,7 @@ __all__ = [
     "HyperExponentialVariate",
     "UniformVariate",
     "ErlangVariate",
+    "SequenceVariate",
     "StreamRegistry",
     "make_variate",
 ]
@@ -226,6 +229,51 @@ class ErlangVariate:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.gamma(self.k, self.mean_value / self.k))
+
+
+@dataclass
+class SequenceVariate:
+    """Deterministic replay of a recorded value sequence, cycling forever.
+
+    ``sample`` ignores the generator entirely: the next value comes from an
+    optional non-repeating ``prefix`` (consumed once, e.g. the initial think
+    time of a trace measured from its origin) followed by ``values`` cycled
+    indefinitely.  The ``mean`` and ``variance`` describe the steady-state
+    cycle (the prefix has vanishing long-run weight).
+    """
+
+    values: tuple[float, ...]
+    prefix: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.values = tuple(float(v) for v in self.values)
+        self.prefix = tuple(float(v) for v in self.prefix)
+        if not self.values:
+            raise ValueError("a sequence variate needs at least one value")
+        for value in self.values + self.prefix:
+            if not np.isfinite(value) or value < 0.0:
+                raise ValueError(
+                    f"sequence values must be finite and >= 0, got {value!r}"
+                )
+        self._cursor = 0
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def variance(self) -> float:
+        return float(np.var(self.values))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._cursor < len(self.prefix):
+            value = self.prefix[self._cursor]
+        else:
+            value = self.values[
+                (self._cursor - len(self.prefix)) % len(self.values)
+            ]
+        self._cursor += 1
+        return value
 
 
 def make_variate(kind: str, mean: float, **kwargs) -> Variate:

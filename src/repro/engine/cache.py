@@ -2,17 +2,21 @@
 
 Reproducing a figure means evaluating a grid of independent simulation points;
 most of the cost of iterating on a figure is re-simulating points that have
-not changed.  :class:`ResultCache` stores each completed
-:class:`~repro.cluster.simulation.SimulationResult` as one compressed NPZ file
-(raw job/task time arrays plus a JSON metadata record) keyed by a stable
-fingerprint of the ``(SimulationConfig, mode)`` pair, so replaying a sweep
-loads the raw samples instead of resimulating — the raw→cache→report pipeline
-used by the figure-reproduction repos this engine is modelled on.
+not changed.  :class:`ResultCache` stores each completed simulation result as
+one compressed NPZ file (raw sample arrays plus a float metadata record)
+keyed by a stable fingerprint of the ``(SimulationConfig, mode)`` pair, so
+replaying a sweep loads the raw samples instead of resimulating — the
+raw→cache→report pipeline used by the figure-reproduction repos this engine
+is modelled on.
 
-The fingerprint covers every field that influences the simulation output
+The cache itself is backend-agnostic: each registered backend owns its NPZ
+layout through the ``serialize_result`` / ``deserialize_result`` hooks of
+:class:`~repro.backends.base.SimulationBackend`, and the cache simply stores
+whatever arrays the backend hands it and hands them back on load.  The
+fingerprint covers every field that influences the simulation output
 (including the seed and the backend mode), so two configs collide only when
 they would produce bitwise-identical results.  Confidence intervals are *not*
-serialized; they are recomputed from the cached job times on load, which is
+serialized; backends recompute them from the cached samples on load, which is
 deterministic and keeps the cache format independent of the stats layer.
 """
 
@@ -26,8 +30,12 @@ from pathlib import Path
 
 import numpy as np
 
-from ..cluster.simulation import OpenSystemResult, SimulationConfig, SimulationResult
-from ..stats import batch_means_interval
+from ..backends import (
+    OpenSystemResult,
+    SimulationConfig,
+    SimulationResult,
+    get_backend,
+)
 
 __all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
 
@@ -42,10 +50,12 @@ __all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
 #: scenario would collide on one digest.  Schema 4 added the admission
 #: subsystem (job classes with widths/priorities/think-time sources, the
 #: admission policy and its kwargs) and the per-job width/class/restart
-#: arrays in the open NPZ layout: a schema-3 entry knows nothing about
-#: space sharing, so it must never replay for a classed point (the schema
-#: bump guarantees it cannot — every digest changes).
-CACHE_VERSION = 4
+#: arrays in the open NPZ layout.  Schema 5 added trace-driven owners (the
+#: per-station replayed activity trace enters the payload — a schema-4 entry
+#: knows only the trace's fitted summary statistics, so two different traces
+#: with equal means would collide) and moved the NPZ layouts behind the
+#: per-backend serialize/deserialize hooks.
+CACHE_VERSION = 5
 
 
 def config_fingerprint(config: SimulationConfig, mode: str) -> str:
@@ -82,6 +92,17 @@ def config_fingerprint(config: SimulationConfig, mode: str) -> str:
                 ),
                 "demand_kind": str(station.demand_kind),
                 "demand_kwargs": [list(pair) for pair in station.demand_kwargs],
+                "trace": (
+                    None
+                    if station.trace is None
+                    else {
+                        "horizon": float(station.trace.horizon),
+                        "busy_intervals": [
+                            [float(start), float(end)]
+                            for start, end in station.trace.busy_intervals
+                        ],
+                    }
+                ),
             }
             for station in scenario.stations
         ],
@@ -138,9 +159,10 @@ def config_fingerprint(config: SimulationConfig, mode: str) -> str:
 class ResultCache:
     """Directory-backed store of completed simulation points.
 
-    One NPZ file per point, named after its fingerprint.  Writes are atomic
-    (temp file + ``os.replace``) so concurrent sweep workers sharing a cache
-    directory never observe torn files.
+    One NPZ file per point, named after its fingerprint, holding exactly the
+    arrays the point's backend serialized.  Writes are atomic (temp file +
+    ``os.replace``) so concurrent sweep workers sharing a cache directory
+    never observe torn files.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -160,57 +182,21 @@ class ResultCache:
         """Return the cached result for a point, or ``None`` on a miss.
 
         A corrupt or unreadable entry is treated as a miss (the point is
-        simply resimulated and rewritten).  Open-system points store per-job
-        arrival/start/end/demand arrays instead of job/task times; every
-        derived queueing metric (and the batch-means interval) is recomputed
-        from those on access, so the cache format stays independent of the
-        stats layer for both result flavours.
+        simply resimulated and rewritten).  The stored arrays are handed to
+        the backend's ``deserialize_result`` hook, which owns the layout and
+        raises on any mismatch — a missing array, or a sample count that
+        contradicts the config — turning the entry into a miss as well.
         """
+        backend = get_backend(mode)
         path = self.path_for(config, mode)
         if not path.exists():
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
-                measured = float(data["measured_owner_utilization"])
-                if mode == "open-system":
-                    arrays = {
-                        key: np.asarray(data[key], dtype=np.float64)
-                        for key in (
-                            "arrival_times",
-                            "start_times",
-                            "end_times",
-                            "demands",
-                            "widths",
-                            "class_ids",
-                            "restarts",
-                        )
-                    }
-                else:
-                    job_times = np.asarray(data["job_times"], dtype=np.float64)
-                    task_times = np.asarray(data["task_times"], dtype=np.float64)
+                arrays = {key: np.asarray(data[key]) for key in data.files}
+            return backend.deserialize_result(config, arrays)
         except (OSError, KeyError, ValueError):
             return None
-        if mode == "open-system":
-            if arrays["arrival_times"].size != config.num_jobs:
-                return None
-            return OpenSystemResult(
-                config=config,
-                mode=mode,
-                measured_owner_utilization=None if np.isnan(measured) else measured,
-                **arrays,
-            )
-        if job_times.size != config.num_jobs:
-            return None
-        return SimulationResult(
-            config=config,
-            mode=mode,
-            job_times=job_times,
-            task_times=task_times,
-            job_time_interval=batch_means_interval(
-                job_times, config.num_batches, config.confidence
-            ),
-            measured_owner_utilization=None if np.isnan(measured) else measured,
-        )
 
     def store(
         self,
@@ -219,39 +205,14 @@ class ResultCache:
         result: SimulationResult | OpenSystemResult,
     ) -> Path:
         """Persist one completed point; returns the cache file path."""
+        arrays = get_backend(mode).serialize_result(result)
         path = self.path_for(config, mode)
-        measured = (
-            np.nan
-            if result.measured_owner_utilization is None
-            else float(result.measured_owner_utilization)
-        )
-        if isinstance(result, OpenSystemResult):
-            # Width/class/restart arrays are materialized from their classless
-            # defaults so every schema-4 entry carries the full layout.
-            arrays = {
-                "arrival_times": np.asarray(result.arrival_times, dtype=np.float64),
-                "start_times": np.asarray(result.start_times, dtype=np.float64),
-                "end_times": np.asarray(result.end_times, dtype=np.float64),
-                "demands": np.asarray(result.demands, dtype=np.float64),
-                "widths": np.asarray(result.job_widths, dtype=np.float64),
-                "class_ids": np.asarray(result.job_class_ids, dtype=np.float64),
-                "restarts": np.asarray(result.job_restarts, dtype=np.float64),
-            }
-        else:
-            arrays = {
-                "job_times": np.asarray(result.job_times, dtype=np.float64),
-                "task_times": np.asarray(result.task_times, dtype=np.float64),
-            }
         fd, tmp_name = tempfile.mkstemp(
             dir=self.root, prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                np.savez_compressed(
-                    handle,
-                    measured_owner_utilization=np.float64(measured),
-                    **arrays,
-                )
+                np.savez_compressed(handle, **arrays)
             os.replace(tmp_name, path)
         except BaseException:
             try:

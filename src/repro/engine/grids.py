@@ -26,9 +26,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..backends import SimulationConfig, get_backend
 from ..cluster.admission import ADMISSION_POLICY_NAMES
 from ..cluster.policies import POLICY_NAMES
-from ..cluster.simulation import SimulationConfig
 from ..core.heterogeneous import concentrated_utilizations
 from ..core.params import (
     JobArrivalSpec,
@@ -113,10 +113,17 @@ GRID_NAMES: tuple[str, ...] = tuple(_GRIDS)
 
 
 def grid_mode(name: str) -> str:
-    """Simulation backend for a named grid."""
+    """Simulation backend for a named grid.
+
+    The mode is validated through the backend registry, so a grid declared
+    against an unregistered backend fails loudly here instead of deep inside
+    a sweep.
+    """
     if name not in _GRIDS:
         raise KeyError(f"unknown sweep grid {name!r}; known grids: {sorted(_GRIDS)}")
-    return _GRIDS[name][3]
+    mode = _GRIDS[name][3]
+    get_backend(mode)
+    return mode
 
 
 def grid_from_product(

@@ -2,10 +2,12 @@
 
 The paper's figures are grids of independent ``(W, T, U, mode)`` simulation
 points, so reproducing them is embarrassingly parallel.  :class:`SweepRunner`
-fans a list of :class:`~repro.cluster.simulation.SimulationConfig` points out
-across a :class:`concurrent.futures.ProcessPoolExecutor`, short-circuiting
-points already present in an optional :class:`~repro.engine.cache.ResultCache`
-so a re-run of a figure replays cached raw samples instead of resimulating.
+fans a list of :class:`~repro.backends.SimulationConfig` points out across a
+:class:`concurrent.futures.ProcessPoolExecutor`, short-circuiting points
+already present in an optional :class:`~repro.engine.cache.ResultCache` so a
+re-run of a figure replays cached raw samples instead of resimulating.
+Back-ends are resolved through the registry in :mod:`repro.backends.base`,
+so a newly registered backend is sweepable without touching this module.
 
 Determinism: each point carries its own seed and every backend builds its
 random streams from that seed alone (via
@@ -21,13 +23,15 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
-from ..cluster.simulation import (
+from ..backends import (
     MonteCarloSampler,
     OpenSystemResult,
     SimulationConfig,
     SimulationResult,
-    run_simulation,
+    backend_names,
+    get_backend,
 )
+from ..core.params import STATIC_POLICY
 
 #: Either flavour of completed simulation point (closed or open system).
 PointResult = SimulationResult | OpenSystemResult
@@ -49,9 +53,16 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _simulate_point(item: tuple[SimulationConfig, str]) -> PointResult:
-    """Top-level worker entry point (must be picklable for the process pool)."""
+    """Top-level worker entry point (must be picklable for the process pool).
+
+    Dispatches through the backend registry.  Workers see every backend
+    registered at import time of its defining module; a backend registered
+    dynamically at runtime reaches forked workers too, but under the
+    ``spawn``/``forkserver`` start methods it must live in a module the
+    workers import (registration runs again on their fresh interpreter).
+    """
     config, mode = item
-    return run_simulation(config, mode)  # type: ignore[arg-type]
+    return get_backend(mode)(config).run()
 
 
 def parallel_map(
@@ -82,6 +93,14 @@ class SweepOutcome:
     ``results`` is ordered like the input grid.  ``simulated`` counts points
     actually executed this run; ``cache_hits`` counts points replayed from the
     cache (``simulated + cache_hits == len(results)``).
+
+    The vectorized path additionally reports its batching diagnostics:
+    ``vectorized_groups`` counts the shared-shape groups drawn in single
+    batched passes, ``fallback_points`` counts configs that could not be
+    batched and ran through a scalar backend instead, and
+    ``fallback_reasons`` maps each reason to how many points it affected —
+    so a sweep that silently degraded to the slow path is visible in
+    :meth:`summary` rather than only in its wall time.
     """
 
     results: list[PointResult]
@@ -90,6 +109,9 @@ class SweepOutcome:
     simulated: int = 0
     cache_hits: int = 0
     elapsed_seconds: float = 0.0
+    vectorized_groups: int = 0
+    fallback_points: int = 0
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -102,11 +124,95 @@ class SweepOutcome:
 
     def summary(self) -> str:
         """One-line execution report for logs and the CLI."""
-        return (
+        line = (
             f"{len(self.results)} points ({self.simulated} simulated, "
             f"{self.cache_hits} cached) mode={self.mode} jobs={self.jobs} "
             f"in {self.elapsed_seconds:.2f}s"
         )
+        if self.vectorized_groups or self.fallback_points:
+            line += f", {self.vectorized_groups} vectorized groups"
+            if self.fallback_points:
+                reasons = "; ".join(
+                    f"{reason}: {count}"
+                    for reason, count in sorted(self.fallback_reasons.items())
+                )
+                line += f", {self.fallback_points} scalar fallbacks ({reasons})"
+        return line
+
+
+#: The backend whose ``run_batch`` the vectorized path draws through.
+_BATCH_MODE = "monte-carlo"
+
+
+def _config_requirements(config: SimulationConfig) -> dict[str, bool]:
+    """Which :class:`~repro.backends.BackendCapabilities` a config demands.
+
+    Keys are capability field names, so eligibility and fallback choices can
+    be made against each backend's *declared* capabilities instead of a
+    hardcoded rule set that could drift from what the back-ends enforce.
+    """
+    scenario = config.effective_scenario
+    return {
+        "open_system": scenario.is_open,
+        "scheduling_policies": scenario.policy != STATIC_POLICY,
+        "trace_owners": any(
+            station.demand_kind == "trace" for station in scenario.stations
+        ),
+        "fractional_demand": float(config.task_demand) != int(config.task_demand),
+    }
+
+
+def _blocker_label(config: SimulationConfig, capability: str) -> str:
+    """Human-readable fallback reason for one missing capability."""
+    if capability == "open_system":
+        return "open-system scenario"
+    if capability == "scheduling_policies":
+        return f"non-static policy ({config.effective_scenario.policy})"
+    if capability == "trace_owners":
+        return "trace-driven owners"
+    return "fractional task demand"
+
+
+def _batch_blocker(config: SimulationConfig) -> str | None:
+    """Why a config cannot join a vectorized batch (None if it can).
+
+    A config batches only if the batch backend's declared capabilities cover
+    everything the config demands, so the eligibility rules live with the
+    backend rather than being duplicated here.
+    """
+    capabilities = get_backend(_BATCH_MODE).capabilities
+    if not capabilities.batched:
+        return f"{_BATCH_MODE} backend is not batched"
+    for capability, needed in _config_requirements(config).items():
+        if needed and not getattr(capabilities, capability):
+            return _blocker_label(config, capability)
+    return None
+
+
+def _fallback_mode(config: SimulationConfig) -> str:
+    """Scalar backend capable of running a config the batch path rejected.
+
+    Picks the first registered backend whose declared capabilities cover the
+    config's requirements (closed configs never land on an open-only
+    backend), so a newly registered backend with broader capabilities is
+    eligible without touching this module.
+    """
+    requirements = _config_requirements(config)
+    for name in backend_names():
+        capabilities = get_backend(name).capabilities
+        if not all(
+            getattr(capabilities, capability)
+            for capability, needed in requirements.items()
+            if needed
+        ):
+            continue
+        if capabilities.open_system and not requirements["open_system"]:
+            continue  # job-stream backends need an arrival process
+        return name
+    raise ValueError(
+        f"no registered backend supports the requirements {requirements!r} "
+        f"of config {config!r}"
+    )
 
 
 class SweepRunner:
@@ -116,13 +222,14 @@ class SweepRunner:
     ----------
     jobs:
         Worker processes.  ``1`` (the default) runs in-process — bitwise
-        identical to calling :func:`~repro.cluster.run_simulation` in a loop —
-        and ``None`` uses one worker per CPU.
+        identical to calling :func:`~repro.backends.run_simulation` in a
+        loop — and ``None`` uses one worker per CPU.
     cache:
         Optional :class:`ResultCache` (or a directory path, which constructs
         one).  Hits skip simulation entirely; misses are simulated and stored.
     mode:
-        Default backend for :meth:`run` (overridable per call).
+        Default backend for :meth:`run` (overridable per call); any name
+        registered via :func:`repro.backends.register_backend`.
     """
 
     def __init__(
@@ -144,6 +251,7 @@ class SweepRunner:
     ) -> SweepOutcome:
         """Execute every point of the grid; results keep the input order."""
         mode = mode or self.mode
+        get_backend(mode)  # fail fast on an unregistered mode
         configs = list(configs)
         started = time.perf_counter()
         results: list[PointResult | None] = [None] * len(configs)
@@ -193,19 +301,42 @@ class SweepRunner:
     def run_vectorized(
         self, configs: Sequence[SimulationConfig]
     ) -> SweepOutcome:
-        """Monte-Carlo-only fast path drawing whole sweeps in batched numpy calls.
+        """Fast path drawing whole sweeps in batched vectorised passes.
 
-        Groups the grid by shared ``(W, T, num_jobs)`` shape and hands each
-        group to :meth:`MonteCarloSampler.run_batch`, which samples the
-        binomial interruption counts of the *entire group* in one vectorised
-        call.  Statistically identical to :meth:`run` but not bitwise (the
-        group shares one stream), so this path bypasses the cache.
+        Every batch-eligible config — homogeneous *and* heterogeneous
+        static-policy scenarios alike — takes the vectorized path by default:
+        the grid is grouped by shared ``(W, T, num_jobs)`` shape (one group
+        per concentration family of a heterogeneous sweep) and each group is
+        handed to :meth:`MonteCarloSampler.run_batch`, which samples the
+        whole group's job times directly from their exact distributions.
+        Configs the batch path cannot express (open-system scenarios,
+        non-static policies, trace owners, fractional demands) fall back to a
+        scalar run on a capable backend, and the fallback is *recorded*:
+        :attr:`SweepOutcome.vectorized_groups`,
+        :attr:`SweepOutcome.fallback_points` and
+        :attr:`SweepOutcome.fallback_reasons` surface exactly what degraded
+        and why instead of silently running slow.
+
+        Statistically identical to :meth:`run` but not bitwise (each group
+        shares one stream), so the *batched* points bypass the cache.
+        Scalar fallbacks are different: they run the exact bitwise path
+        :meth:`run` would, so when the runner has a cache they replay from
+        and store into it, and they fan out over the runner's worker pool
+        (they are exactly the expensive points); the batched groups draw
+        in-process, where they are already orders of magnitude faster.
         """
         configs = list(configs)
         started = time.perf_counter()
-        results: list[SimulationResult | None] = [None] * len(configs)
+        results: list[PointResult | None] = [None] * len(configs)
         groups: dict[tuple, list[int]] = {}
+        fallbacks: list[tuple[int, SimulationConfig, str]] = []
+        fallback_reasons: dict[str, int] = {}
         for index, config in enumerate(configs):
+            blocker = _batch_blocker(config)
+            if blocker is not None:
+                fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
+                fallbacks.append((index, config, _fallback_mode(config)))
+                continue
             key = (
                 config.workstations,
                 float(config.task_demand),
@@ -214,15 +345,38 @@ class SweepRunner:
                 float(config.confidence),
             )
             groups.setdefault(key, []).append(index)
+        cache_hits = 0
+        pending = fallbacks
+        if self.cache is not None:
+            pending = []
+            for index, config, fallback_mode in fallbacks:
+                cached = self.cache.load(config, fallback_mode)
+                if cached is None:
+                    pending.append((index, config, fallback_mode))
+                else:
+                    results[index] = cached
+                    cache_hits += 1
+        fallen_back = parallel_map(
+            _simulate_point,
+            [(config, mode) for _, config, mode in pending],
+            jobs=self.jobs,
+        )
+        for (index, config, fallback_mode), result in zip(pending, fallen_back):
+            results[index] = result
+            if self.cache is not None:
+                self.cache.store(config, fallback_mode, result)
         for indices in groups.values():
             batch = MonteCarloSampler.run_batch([configs[i] for i in indices])
             for index, result in zip(indices, batch):
                 results[index] = result
         return SweepOutcome(
             results=[r for r in results if r is not None],
-            mode="monte-carlo",
-            jobs=1,
-            simulated=len(configs),
-            cache_hits=0,
+            mode="monte-carlo" if not fallbacks else "mixed",
+            jobs=self.jobs,
+            simulated=len(configs) - cache_hits,
+            cache_hits=cache_hits,
             elapsed_seconds=time.perf_counter() - started,
+            vectorized_groups=len(groups),
+            fallback_points=len(fallbacks),
+            fallback_reasons=fallback_reasons,
         )

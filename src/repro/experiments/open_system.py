@@ -33,8 +33,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backends import OpenSystemResult, SimulationConfig
 from ..cluster.policies import POLICY_NAMES
-from ..cluster.simulation import OpenSystemResult, SimulationConfig
 from ..core.params import (
     JobArrivalSpec,
     OwnerSpec,
@@ -49,6 +49,7 @@ __all__ = [
     "QueueingRow",
     "open_system_experiment",
     "admission_experiment",
+    "admission_width_curves",
     "response_time_curves",
 ]
 
@@ -184,6 +185,90 @@ def admission_experiment(
             )
         )
     return rows
+
+
+def admission_width_curves(
+    workstations: int = 8,
+    utilization: float = 0.10,
+    job_widths: Sequence[int] = (2, 3, 4, 6),
+    admission_policies: Sequence[str] | None = None,
+    arrival_rate: float = 0.5,
+    num_jobs: int = 240,
+    num_batches: int = 8,
+    seed: int = 0,
+    jobs: int | None = 1,
+):
+    """Per-class mean response time vs narrow width, one curve per policy.
+
+    This is the ``admission-sweep`` grid promoted to a registered figure (the
+    ROADMAP's "admission figures" item), the way ``open-system-response``
+    renders the arrival sweep: each point streams the 75/25 narrow/full-width
+    moldable mix at one fixed normalized arrival rate, and the figure plots
+    the *narrow class's* mean response time against its width — the
+    head-of-line cost FCFS pays as narrow jobs get wider, and how much of it
+    EASY backfilling or preemptive priority recovers.  The full-width class's
+    response and the overall mean ride along in the metadata rows.  Returns a
+    :class:`~repro.experiments.figures.FigureResult`.
+    """
+    from .figures import FigureResult
+
+    configs = build_grid(
+        "admission-sweep",
+        workstation_counts=(int(workstations),),
+        utilizations=(float(utilization),),
+        job_widths=tuple(int(width) for width in job_widths),
+        admission_policies=(
+            None if admission_policies is None else tuple(admission_policies)
+        ),
+        arrival_rates=(float(arrival_rate),),
+        num_jobs=num_jobs,
+        num_batches=num_batches,
+        seed=seed,
+    )
+    outcome = SweepRunner(jobs=jobs).run(configs, mode="open-system")
+    rows: list[QueueingRow] = []
+    curves: dict[str, dict[int, float]] = {}
+    for result in outcome:
+        assert isinstance(result, OpenSystemResult)
+        spec = result.arrival_spec
+        narrow = spec.job_classes[0]
+        per_class = result.class_metrics()
+        rows.append(
+            _queueing_row(
+                result,
+                label_extra=f" w={narrow.width} adm={spec.admission_policy}",
+                parameters_extra={"narrow_width": float(narrow.width)},
+                per_class=True,
+            )
+        )
+        curves.setdefault(spec.admission_policy, {})[narrow.width] = per_class[
+            narrow.name
+        ]["mean_response_time"]
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for policy, by_width in curves.items():
+        widths = sorted(by_width)
+        series[policy] = (
+            np.asarray(widths, dtype=np.float64),
+            np.asarray([by_width[width] for width in widths]),
+        )
+    return FigureResult(
+        figure_id="admission-width",
+        title=(
+            "Narrow-class mean response time vs narrow width "
+            f"(W={workstations}, U={utilization:g}, "
+            f"rate={arrival_rate:g} of saturation)"
+        ),
+        x_label="narrow job width (stations)",
+        y_label="narrow-class mean response time",
+        series=series,
+        metadata={
+            "workstations": workstations,
+            "utilization": utilization,
+            "arrival_rate": arrival_rate,
+            "num_jobs": num_jobs,
+            "rows": [row.as_dict() for row in rows],
+        },
+    )
 
 
 def response_time_curves(

@@ -123,6 +123,13 @@ EXPERIMENTS: Mapping[str, Experiment] = {
             kind="queueing",
         ),
         Experiment(
+            "admission-width",
+            "Queueing figure: narrow-class mean response time vs narrow "
+            "width, one curve per admission policy",
+            open_system.admission_width_curves,
+            kind="figure",
+        ),
+        Experiment(
             "open-system-response",
             "Queueing figure: mean response time vs normalized arrival rate, "
             "one curve per task-scheduling policy",

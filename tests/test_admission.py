@@ -620,7 +620,11 @@ class TestNewResponseMetrics:
 
 class TestSchemaFourCache:
     def test_cache_version_bumped(self):
-        assert CACHE_VERSION == 4
+        # 4 introduced the admission fields; 5 added trace-driven owners and
+        # the backend-owned NPZ layouts.  Pinned exactly: adding
+        # fingerprint-relevant fields without bumping the schema must fail
+        # here, so stale entries can never silently replay.
+        assert CACHE_VERSION == 5
 
     def test_admission_fields_enter_fingerprint(self):
         base = _classed_config((JobClassSpec("narrow", width=2),))
@@ -784,6 +788,29 @@ class TestAdmissionExperiments:
         assert {"fcfs", "easy-backfill"} == {
             row.label.split("adm=")[1] for row in rows
         }
+
+    def test_admission_width_registered(self):
+        assert "admission-width" in EXPERIMENTS
+        assert EXPERIMENTS["admission-width"].kind == "figure"
+
+    def test_admission_width_curves_figure(self):
+        from repro.experiments.open_system import admission_width_curves
+
+        figure = admission_width_curves(
+            workstations=8,
+            job_widths=(2, 4),
+            admission_policies=("fcfs", "priority"),
+            num_jobs=60,
+            num_batches=4,
+        )
+        assert isinstance(figure, FigureResult)
+        assert set(figure.series) == {"fcfs", "priority"}
+        for x, y in figure.series.values():
+            np.testing.assert_array_equal(x, [2.0, 4.0])
+            assert y.shape == (2,) and np.all(np.isfinite(y)) and np.all(y > 0)
+        rows = figure.metadata["rows"]
+        assert len(rows) == 4
+        assert all("narrow_mean_response" in row for row in rows)
 
     def test_response_time_curves_figure(self):
         figure = response_time_curves(

@@ -1,0 +1,282 @@
+"""Tests for the backend registry seam introduced by the backends package.
+
+The registry replaced the hardcoded ``_BACKENDS`` dict of the old
+``cluster/simulation.py`` monolith; these tests pin the two contracts every
+layer now relies on: registry dispatch reproduces direct backend
+construction **bitwise** for every mode, and every registered backend's NPZ
+serialize/deserialize hooks round-trip its result bitwise through
+:class:`~repro.engine.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.backends.base as backends_base
+from repro.backends import (
+    BackendCapabilities,
+    DiscreteTimeSimulator,
+    EventDrivenClusterSimulator,
+    MonteCarloSampler,
+    OpenSystemResult,
+    OpenSystemSimulator,
+    SimulationBackend,
+    SimulationConfig,
+    SimulationResult,
+    backend_names,
+    get_backend,
+    register_backend,
+    run_simulation,
+)
+from repro.core import JobArrivalSpec, OwnerSpec, ScenarioSpec
+from repro.engine import ResultCache, SweepRunner
+
+ALL_MODES = ("discrete-time", "monte-carlo", "event-driven", "open-system")
+
+EXPECTED_CLASSES = {
+    "discrete-time": DiscreteTimeSimulator,
+    "monte-carlo": MonteCarloSampler,
+    "event-driven": EventDrivenClusterSimulator,
+    "open-system": OpenSystemSimulator,
+}
+
+
+def _config_for(mode: str, paper_owner: OwnerSpec) -> SimulationConfig:
+    """A small config runnable on the given backend."""
+    if mode == "open-system":
+        scenario = ScenarioSpec.homogeneous(
+            3, paper_owner, arrivals=JobArrivalSpec.poisson(rate=0.002)
+        )
+        return SimulationConfig.from_scenario(
+            scenario, task_demand=30, num_jobs=40, num_batches=4, seed=11
+        )
+    return SimulationConfig(
+        workstations=3, task_demand=30, owner=paper_owner, num_jobs=40,
+        num_batches=4, seed=11,
+    )
+
+
+class TestRegistry:
+    def test_all_built_in_backends_registered(self):
+        assert set(backend_names()) == set(ALL_MODES)
+
+    def test_get_backend_returns_registered_classes(self):
+        for mode, cls in EXPECTED_CLASSES.items():
+            assert get_backend(mode) is cls
+
+    def test_name_and_mode_aliases_agree(self):
+        for mode, cls in EXPECTED_CLASSES.items():
+            assert cls.name == mode
+            assert cls.mode == mode
+
+    def test_unknown_mode_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown simulation mode"):
+            get_backend("csim")
+        with pytest.raises(ValueError, match="monte-carlo"):
+            get_backend("csim")
+
+    def test_duplicate_registration_rejected(self):
+        class Clash(MonteCarloSampler):
+            name = "monte-carlo"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(Clash)
+        # the original stays in place
+        assert get_backend("monte-carlo") is MonteCarloSampler
+
+    def test_backend_without_name_rejected(self):
+        class Nameless(SimulationBackend):
+            def run(self):  # pragma: no cover - never executed
+                return None
+
+        with pytest.raises(ValueError, match="non-empty string 'name'"):
+            register_backend(Nameless)
+
+    def test_custom_backend_is_dispatchable_end_to_end(self, paper_owner):
+        """Registering a backend makes it runnable through every layer."""
+
+        class ConstantBackend(SimulationBackend):
+            name = "test-constant"
+            capabilities = BackendCapabilities()
+
+            def run(self):
+                from repro.stats import batch_means_interval
+
+                job_times = np.full(self.config.num_jobs, 7.0)
+                return SimulationResult(
+                    config=self.config,
+                    mode=self.name,
+                    job_times=job_times,
+                    task_times=job_times.copy(),
+                    job_time_interval=batch_means_interval(
+                        job_times, self.config.num_batches, self.config.confidence
+                    ),
+                )
+
+        register_backend(ConstantBackend)
+        try:
+            config = _config_for("monte-carlo", paper_owner)
+            assert run_simulation(config, "test-constant").mean_job_time == 7.0
+            outcome = SweepRunner(jobs=1).run([config], mode="test-constant")
+            assert outcome[0].mean_job_time == 7.0
+        finally:
+            backends_base._REGISTRY.pop("test-constant")
+
+    def test_replace_allows_overriding(self):
+        class Double(MonteCarloSampler):
+            name = "monte-carlo"
+
+        register_backend(Double, replace=True)
+        try:
+            assert get_backend("monte-carlo") is Double
+        finally:
+            register_backend(MonteCarloSampler, replace=True)
+        assert get_backend("monte-carlo") is MonteCarloSampler
+
+
+class TestCapabilities:
+    def test_declared_capabilities(self):
+        assert MonteCarloSampler.capabilities.batched
+        assert not MonteCarloSampler.capabilities.fractional_demand
+        assert EventDrivenClusterSimulator.capabilities.scheduling_policies
+        assert EventDrivenClusterSimulator.capabilities.trace_owners
+        assert not EventDrivenClusterSimulator.capabilities.open_system
+        assert OpenSystemSimulator.capabilities.open_system
+        assert not DiscreteTimeSimulator.capabilities.scheduling_policies
+
+
+class TestRegistryDispatchBitwise:
+    """Registry dispatch must reproduce direct backend construction bitwise."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_run_simulation_matches_direct_backend(self, mode, paper_owner):
+        config = _config_for(mode, paper_owner)
+        via_registry = run_simulation(config, mode)
+        direct = EXPECTED_CLASSES[mode](config).run()
+        if mode == "open-system":
+            for attr in ("arrival_times", "start_times", "end_times", "demands"):
+                np.testing.assert_array_equal(
+                    getattr(via_registry, attr), getattr(direct, attr)
+                )
+        else:
+            np.testing.assert_array_equal(via_registry.job_times, direct.job_times)
+            np.testing.assert_array_equal(via_registry.task_times, direct.task_times)
+        assert via_registry.mode == mode
+
+
+class TestCacheRoundTrip:
+    """Every backend's NPZ hooks must reproduce its result bitwise."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_round_trip_is_bitwise(self, mode, tmp_path, paper_owner):
+        config = _config_for(mode, paper_owner)
+        result = run_simulation(config, mode)
+        cache = ResultCache(tmp_path)
+        cache.store(config, mode, result)
+        loaded = cache.load(config, mode)
+        assert loaded is not None
+        assert type(loaded) is type(result)
+        if isinstance(result, OpenSystemResult):
+            for attr in (
+                "arrival_times",
+                "start_times",
+                "end_times",
+                "demands",
+                "job_widths",
+                "job_class_ids",
+                "job_restarts",
+            ):
+                np.testing.assert_array_equal(
+                    getattr(loaded, attr), getattr(result, attr)
+                )
+            assert loaded.mean_response_time == result.mean_response_time
+        else:
+            np.testing.assert_array_equal(loaded.job_times, result.job_times)
+            np.testing.assert_array_equal(loaded.task_times, result.task_times)
+            assert loaded.job_time_interval.half_width == pytest.approx(
+                result.job_time_interval.half_width
+            )
+        if result.measured_owner_utilization is None:
+            assert loaded.measured_owner_utilization is None
+        else:
+            assert loaded.measured_owner_utilization == pytest.approx(
+                result.measured_owner_utilization
+            )
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_serialize_hooks_produce_plain_float_arrays(self, mode, paper_owner):
+        """Backends may only serialize numeric arrays (NPZ without pickling)."""
+        config = _config_for(mode, paper_owner)
+        arrays = get_backend(mode).serialize_result(run_simulation(config, mode))
+        assert "measured_owner_utilization" in arrays
+        for value in arrays.values():
+            assert np.asarray(value).dtype == np.float64
+
+    def test_wrong_job_count_is_a_miss(self, tmp_path, paper_owner):
+        """A deserialize hook rejecting stale arrays turns the entry into a miss."""
+        from dataclasses import replace
+
+        config = _config_for("monte-carlo", paper_owner)
+        result = run_simulation(config, "monte-carlo")
+        cache = ResultCache(tmp_path)
+        path = cache.store(config, "monte-carlo", result)
+        shrunk = replace(config, num_jobs=config.num_jobs - 1)
+        # Force the shrunk config onto the same digest to simulate staleness.
+        path.rename(cache.path_for(shrunk, "monte-carlo"))
+        assert cache.load(shrunk, "monte-carlo") is None
+
+
+class TestShimCompatibility:
+    """The old import surface must keep resolving to the same objects."""
+
+    def test_cluster_simulation_shim(self):
+        from repro.cluster import simulation as shim
+
+        assert shim.MonteCarloSampler is MonteCarloSampler
+        assert shim.run_simulation is run_simulation
+        assert shim.SimulationConfig is SimulationConfig
+        assert shim.OpenSystemResult is OpenSystemResult
+
+    def test_cluster_package_lazy_exports(self):
+        import repro.cluster as cluster
+
+        assert cluster.EventDrivenClusterSimulator is EventDrivenClusterSimulator
+        assert "SimulationConfig" in dir(cluster)
+        with pytest.raises(AttributeError):
+            cluster.NoSuchSimulator
+
+    def test_backends_import_order_is_irrelevant(self):
+        """Importing backends before repro.cluster must not deadlock/fail."""
+        self._assert_subprocess_ok(
+            "import repro.backends, repro.cluster; "
+            "from repro.cluster.simulation import MonteCarloSampler; "
+            "print('ok')"
+        )
+
+    def test_submodule_attribute_access_without_prior_import(self):
+        """`import repro.cluster; repro.cluster.simulation.<name>` must keep
+        working even though the package no longer imports the shim eagerly."""
+        self._assert_subprocess_ok(
+            "import repro.cluster; "
+            "assert repro.cluster.simulation.MonteCarloSampler; "
+            "print('ok')"
+        )
+
+    @staticmethod
+    def _assert_subprocess_ok(code: str) -> None:
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"

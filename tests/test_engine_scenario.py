@@ -56,8 +56,10 @@ def _v1_fingerprint(config: SimulationConfig, mode: str) -> str:
 class TestCacheSchemaV2:
     def test_schema_bumped(self):
         # Schema 3 added the job-arrival (open-system) fields; schema 4 the
-        # admission subsystem (job classes, admission policy).
-        assert CACHE_VERSION == 4
+        # admission subsystem (job classes, admission policy); schema 5
+        # trace-driven owners and the backend-owned NPZ layouts.  Pinned
+        # exactly so a fingerprint-payload change must bump the schema.
+        assert CACHE_VERSION == 5
 
     def test_v1_entries_never_replay(self, tmp_path, paper_owner):
         """An NPZ written under the schema-1 key must be a miss, not a stale hit."""

@@ -179,6 +179,122 @@ class TestSweepRunner:
         assert resolve_jobs(None) >= 1
 
 
+class TestVectorizedHeterogeneous:
+    """run_vectorized must batch heterogeneous grids and report fallbacks."""
+
+    def _hetero_grid(self, num_jobs: int = 4000):
+        return build_grid(
+            "hetero-concentration",
+            num_jobs=num_jobs,
+            num_batches=4,
+            workstation_counts=(4, 8),
+            utilizations=(0.1,),
+            concentration_levels=(0.0, 0.5, 1.0),
+        )
+
+    def test_heterogeneous_grid_is_fully_batched(self):
+        grid = self._hetero_grid(num_jobs=400)
+        outcome = SweepRunner(jobs=1).run_vectorized(grid)
+        assert len(outcome) == len(grid)
+        # one batched group per (W, T) cell, no scalar degradation
+        assert outcome.vectorized_groups == 2
+        assert outcome.fallback_points == 0
+        assert outcome.fallback_reasons == {}
+        assert outcome.mode == "monte-carlo"
+        assert "2 vectorized groups" in outcome.summary()
+
+    def test_heterogeneous_batch_matches_scalar_within_ci(self):
+        grid = self._hetero_grid(num_jobs=4000)
+        exact = SweepRunner(jobs=1).run(grid)
+        fast = SweepRunner(jobs=1).run_vectorized(grid)
+        for a, b in zip(exact, fast):
+            tolerance = (
+                a.job_time_interval.half_width + b.job_time_interval.half_width
+            )
+            assert abs(a.mean_job_time - b.mean_job_time) <= tolerance
+
+    def test_ineligible_configs_fall_back_with_reasons(self, paper_owner):
+        from repro.core import JobArrivalSpec, ScenarioSpec
+
+        eligible = self._hetero_grid(num_jobs=200)[:2]
+        policy_config = SimulationConfig.from_scenario(
+            ScenarioSpec.homogeneous(4, paper_owner, policy="self-scheduling"),
+            task_demand=25.0, num_jobs=40, num_batches=4, seed=9,
+        )
+        open_config = SimulationConfig.from_scenario(
+            ScenarioSpec.homogeneous(
+                3, paper_owner, arrivals=JobArrivalSpec.poisson(rate=0.002)
+            ),
+            task_demand=30.0, num_jobs=30, num_batches=4, seed=9,
+        )
+        fractional = SimulationConfig(
+            workstations=3, task_demand=20.5, owner=paper_owner,
+            num_jobs=30, num_batches=4, seed=9,
+        )
+        grid = eligible + [policy_config, open_config, fractional]
+        outcome = SweepRunner(jobs=1).run_vectorized(grid)
+        assert len(outcome) == len(grid)
+        assert outcome.vectorized_groups == 1
+        assert outcome.fallback_points == 3
+        assert outcome.fallback_reasons == {
+            "non-static policy (self-scheduling)": 1,
+            "open-system scenario": 1,
+            "fractional task demand": 1,
+        }
+        # fallbacks ran on a capable scalar backend, in grid order, and the
+        # outcome-level label reports the mix honestly
+        assert outcome[2].mode == "event-driven"
+        assert outcome[3].mode == "open-system"
+        assert outcome[4].mode == "event-driven"
+        assert outcome.mode == "mixed"
+        summary = outcome.summary()
+        assert "3 scalar fallbacks" in summary
+        assert "open-system scenario: 1" in summary
+
+    def test_fallbacks_replay_from_the_cache(self, tmp_path, paper_owner):
+        """Scalar fallbacks are bitwise runs, so a configured cache serves
+        them; the batched (non-bitwise) points keep bypassing it."""
+        fractional = SimulationConfig(
+            workstations=2, task_demand=10.5, owner=paper_owner,
+            num_jobs=20, num_batches=4, seed=5,
+        )
+        grid = self._hetero_grid(num_jobs=200)[:2] + [fractional]
+        runner = SweepRunner(jobs=1, cache=tmp_path / "cache")
+        first = runner.run_vectorized(grid)
+        assert first.simulated == 3 and first.cache_hits == 0
+        second = runner.run_vectorized(grid)
+        assert second.cache_hits == 1  # the fallback replayed
+        assert second.simulated == 2  # the batched points re-drew
+        np.testing.assert_array_equal(first[2].job_times, second[2].job_times)
+        # the cached fallback is also visible to the plain run() path
+        direct = runner.run([fractional], mode="event-driven")
+        assert direct.cache_hits == 1
+
+    def test_fallbacks_fan_out_over_the_worker_pool(self, paper_owner):
+        """Scalar fallbacks must use the configured pool, bitwise-stable."""
+        fractionals = [
+            SimulationConfig(
+                workstations=2, task_demand=10.5, owner=paper_owner,
+                num_jobs=20, num_batches=4, seed=seed,
+            )
+            for seed in (1, 2, 3)
+        ]
+        serial = SweepRunner(jobs=1).run_vectorized(fractionals)
+        pooled = SweepRunner(jobs=2).run_vectorized(fractionals)
+        assert pooled.jobs == 2 and pooled.fallback_points == 3
+        for a, b in zip(serial, pooled):
+            np.testing.assert_array_equal(a.job_times, b.job_times)
+
+    def test_fallback_results_match_direct_runs(self, paper_owner):
+        fractional = SimulationConfig(
+            workstations=3, task_demand=20.5, owner=paper_owner,
+            num_jobs=30, num_batches=4, seed=9,
+        )
+        outcome = SweepRunner(jobs=1).run_vectorized([fractional])
+        direct = run_simulation(fractional, "event-driven")
+        np.testing.assert_array_equal(outcome[0].job_times, direct.job_times)
+
+
 class TestParallelMap:
     def test_preserves_order(self):
         items = list(range(7))
