@@ -6,7 +6,8 @@ figure benchmarks depend on.
 
 import numpy as np
 
-from repro.cluster import MonteCarloSampler, SimulationConfig
+from repro.backends import get_backend
+from repro.cluster import SimulationConfig
 from repro.core import OwnerSpec, expected_job_time
 from repro.desim import Environment, PreemptiveResource, Interrupt
 
@@ -25,7 +26,8 @@ def test_monte_carlo_sampler_throughput(benchmark):
         seed=0,
     )
 
-    result = benchmark(lambda: MonteCarloSampler(config).run())
+    sampler = get_backend("monte-carlo")
+    result = benchmark(lambda: sampler(config).run())
     assert result.num_jobs == 20_000
 
 
@@ -43,7 +45,7 @@ def test_des_kernel_event_throughput(benchmark):
                     try:
                         yield env.timeout(remaining)
                         remaining = 0
-                    except Interrupt:
+                    except Interrupt:  # simlint: ignore[SL003] - preempt-resume kernel
                         remaining -= env.now - start
 
         def owner(env):

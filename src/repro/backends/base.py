@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import ClassVar, Mapping
+from typing import ClassVar, Mapping, Sequence
 
 import numpy as np
 
@@ -433,6 +433,25 @@ class SimulationBackend(abc.ABC):
     @abc.abstractmethod
     def run(self):
         """Execute the simulation and return this backend's result flavour."""
+
+    @classmethod
+    def run_batch(
+        cls,
+        configs: Sequence[SimulationConfig],
+        seed: int | None = None,
+    ) -> list[SimulationResult]:
+        """Vectorised multi-config fast path (``capabilities.batched`` only).
+
+        Backends advertising ``BackendCapabilities(batched=True)`` override
+        this with a sampler that evaluates many configs in one pass; the
+        sweep engine dispatches to it through the registry
+        (``get_backend(mode).run_batch(...)``) so replacement backends are
+        honoured.  The default refuses, keeping the capability flag honest.
+        """
+        raise NotImplementedError(
+            f"backend {cls.name!r} does not implement run_batch "
+            "(capabilities.batched is False)"
+        )
 
     # -- NPZ cache hooks ---------------------------------------------------
     #

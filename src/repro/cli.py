@@ -195,6 +195,36 @@ def build_parser() -> argparse.ArgumentParser:
             "so it bypasses the cache)"
         ),
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help=(
+            "statically check the domain invariants (determinism, cache-"
+            "fingerprint coverage, interrupt safety, registry dispatch, NPZ "
+            "symmetry)"
+        ),
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    lint_parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint_parser.add_argument(
+        "--format", dest="report_format", default="text",
+        choices=("text", "json"),
+        help="report format (json is the CI artifact form)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -291,6 +321,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         if runner.cache is not None:
             print(f"cache: {len(runner.cache)} entries in {runner.cache.root}")
         return 0
+
+    if args.command == "lint":
+        from .lint import all_rules, format_findings, run_lint
+
+        if args.list_rules:
+            for rule in all_rules():
+                print(f"{rule.rule_id}  {rule.summary}")
+            return 0
+        try:
+            findings = run_lint(
+                args.paths,
+                select=args.select.split(",") if args.select else None,
+                ignore=args.ignore.split(",") if args.ignore else None,
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        sys.stdout.write(format_findings(findings, args.report_format))
+        return 1 if findings else 0
 
     if args.command == "feasibility":
         job = JobSpec(total_demand=args.job_demand, rounding=TaskRounding.INTERPOLATE)

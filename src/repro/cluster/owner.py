@@ -20,7 +20,6 @@ from ..desim import (
     DeterministicVariate,
     Environment,
     GeometricVariate,
-    Interrupt,
     SequenceVariate,
     Variate,
     make_variate,
@@ -174,8 +173,10 @@ def owner_process(
                 busy_monitor.update(env.now, 1.0)
             try:
                 yield env.timeout(demand)
-            except Interrupt:  # pragma: no cover - owners are never preempted
-                pass
             finally:
+                # Owners hold the highest priority and are never preempted;
+                # an Interrupt here is a kill and must propagate (swallowing
+                # it would resume the owner as if nothing happened and
+                # corrupt the busy signal).  The monitor still closes.
                 if busy_monitor is not None:
                     busy_monitor.update(env.now, 0.0)

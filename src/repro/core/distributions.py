@@ -168,7 +168,9 @@ class Binomial:
     def cdf(self) -> NDArray[np.float64]:
         return binomial_cdf(self.trials, self.prob)
 
-    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] = 1):
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...] = 1
+    ) -> NDArray[np.int64]:
         """Draw samples using numpy's generator (used by the Monte-Carlo sampler)."""
         return rng.binomial(self.trials, self.prob, size=size)
 
@@ -217,7 +219,9 @@ class Geometric:
             return 0.0
         return (1.0 - self.prob) ** (k - 1) * self.prob
 
-    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] = 1):
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...] = 1
+    ) -> NDArray[np.int64]:
         """Draw geometric samples (support starting at 1)."""
         if self.prob == 0.0:
             raise ValueError("cannot sample a geometric with prob = 0 (infinite mean)")
@@ -247,7 +251,9 @@ class Deterministic:
     def variance(self) -> float:
         return 0.0
 
-    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] = 1):
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...] = 1
+    ) -> NDArray[np.float64]:
         return np.full(size, self.value, dtype=np.float64)
 
 

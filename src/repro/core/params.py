@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workload uses core)
     from ..workload import OwnerActivityTrace
@@ -645,25 +645,25 @@ class JobArrivalSpec:
     # -- constructors ------------------------------------------------------
 
     @classmethod
-    def poisson(cls, rate: float, **kwargs) -> "JobArrivalSpec":
+    def poisson(cls, rate: float, **kwargs: Any) -> "JobArrivalSpec":
         """Poisson arrivals at ``rate`` jobs per unit time."""
         return cls(kind="poisson", rate=rate, **kwargs)
 
     @classmethod
-    def deterministic(cls, rate: float, **kwargs) -> "JobArrivalSpec":
+    def deterministic(cls, rate: float, **kwargs: Any) -> "JobArrivalSpec":
         """Evenly spaced arrivals, one every ``1/rate`` time units."""
         return cls(kind="deterministic", rate=rate, **kwargs)
 
     @classmethod
     def from_trace(
-        cls, interarrivals: Sequence[float], **kwargs
+        cls, interarrivals: Sequence[float], **kwargs: Any
     ) -> "JobArrivalSpec":
         """Replay recorded interarrival gaps (cycled if the run is longer)."""
         return cls(kind="trace", interarrivals=tuple(interarrivals), **kwargs)
 
     @classmethod
     def closed_loop(
-        cls, job_classes: Sequence[JobClassSpec], **kwargs
+        cls, job_classes: Sequence[JobClassSpec], **kwargs: Any
     ) -> "JobArrivalSpec":
         """A purely closed-loop stream: every job comes from a think-time source."""
         return cls(kind="closed", job_classes=tuple(job_classes), **kwargs)
@@ -852,7 +852,7 @@ class ScenarioSpec:
         cls,
         utilizations: Sequence[float],
         owner_demand: float = 10.0,
-        **kwargs,
+        **kwargs: Any,
     ) -> "ScenarioSpec":
         """Build a scenario from a per-workstation owner-utilization vector."""
         owners = [

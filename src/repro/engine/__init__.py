@@ -14,12 +14,13 @@ results regardless of worker count because every point owns its seed.
 2
 """
 
-from .cache import CACHE_VERSION, ResultCache, config_fingerprint
+from .cache import CACHE_VERSION, SCHEMA_HISTORY, ResultCache, config_fingerprint
 from .grids import GRID_NAMES, build_grid, grid_from_product, grid_mode, saturation_rate
 from .runner import SweepOutcome, SweepRunner, parallel_map, resolve_jobs
 
 __all__ = [
     "CACHE_VERSION",
+    "SCHEMA_HISTORY",
     "ResultCache",
     "config_fingerprint",
     "GRID_NAMES",

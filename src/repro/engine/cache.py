@@ -37,25 +37,52 @@ from ..backends import (
     get_backend,
 )
 
-__all__ = ["CACHE_VERSION", "config_fingerprint", "ResultCache"]
+__all__ = ["CACHE_VERSION", "SCHEMA_HISTORY", "config_fingerprint", "ResultCache"]
 
-#: Fingerprint schema version.  Bump when the on-disk layout or the
-#: fingerprint payload changes — a bump changes every digest, so entries
-#: written under an older schema can never silently replay.  Schema 2 added
-#: the scenario fields (per-station owners, scheduling policy), without which
-#: a schema-1 entry keyed only on the representative owner could replay for a
-#: heterogeneous or non-static point it never simulated.  Schema 3 added the
-#: job-arrival process (open-system mode) and the open-result NPZ layout:
-#: without the arrival fields, a closed point and an open point sharing a
-#: scenario would collide on one digest.  Schema 4 added the admission
-#: subsystem (job classes with widths/priorities/think-time sources, the
-#: admission policy and its kwargs) and the per-job width/class/restart
-#: arrays in the open NPZ layout.  Schema 5 added trace-driven owners (the
-#: per-station replayed activity trace enters the payload — a schema-4 entry
-#: knows only the trace's fitted summary statistics, so two different traces
-#: with equal means would collide) and moved the NPZ layouts behind the
-#: per-backend serialize/deserialize hooks.
-CACHE_VERSION = 5
+#: The fingerprint schema changelog, one ``(version, what changed and why)``
+#: entry per schema, oldest first.  Append an entry whenever the on-disk
+#: layout or the fingerprint payload changes — a bump changes every digest,
+#: so entries written under an older schema can never silently replay.  This
+#: tuple is the single source of truth: :data:`CACHE_VERSION` is derived from
+#: its last entry, the SL002 lint rule checks it stays contiguous, and the
+#: docs render it verbatim.
+SCHEMA_HISTORY: tuple[tuple[int, str], ...] = (
+    (
+        1,
+        "initial payload: workstations, task demand, the representative "
+        "owner, sampling parameters and the seed",
+    ),
+    (
+        2,
+        "added the scenario fields (per-station owners, scheduling policy), "
+        "without which a schema-1 entry keyed only on the representative "
+        "owner could replay for a heterogeneous or non-static point it "
+        "never simulated",
+    ),
+    (
+        3,
+        "added the job-arrival process (open-system mode) and the "
+        "open-result NPZ layout: without the arrival fields, a closed point "
+        "and an open point sharing a scenario would collide on one digest",
+    ),
+    (
+        4,
+        "added the admission subsystem (job classes with widths/priorities/"
+        "think-time sources, the admission policy and its kwargs) and the "
+        "per-job width/class/restart arrays in the open NPZ layout",
+    ),
+    (
+        5,
+        "added trace-driven owners (the per-station replayed activity trace "
+        "enters the payload — a schema-4 entry knows only the trace's fitted "
+        "summary statistics, so two different traces with equal means would "
+        "collide) and moved the NPZ layouts behind the per-backend "
+        "serialize/deserialize hooks",
+    ),
+)
+
+#: Current fingerprint schema version — always the last history entry.
+CACHE_VERSION = SCHEMA_HISTORY[-1][0]
 
 
 def config_fingerprint(config: SimulationConfig, mode: str) -> str:

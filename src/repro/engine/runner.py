@@ -21,10 +21,9 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..backends import (
-    MonteCarloSampler,
     OpenSystemResult,
     SimulationConfig,
     SimulationResult,
@@ -288,7 +287,7 @@ class SweepRunner:
             elapsed_seconds=time.perf_counter() - started,
         )
 
-    def run_experiment(self, name: str, **overrides) -> SweepOutcome:
+    def run_experiment(self, name: str, **overrides: Any) -> SweepOutcome:
         """Execute a named sweep grid from :mod:`repro.engine.grids`.
 
         ``overrides`` are forwarded to :func:`~repro.engine.grids.build_grid`
@@ -307,7 +306,7 @@ class SweepRunner:
         static-policy scenarios alike — takes the vectorized path by default:
         the grid is grouped by shared ``(W, T, num_jobs)`` shape (one group
         per concentration family of a heterogeneous sweep) and each group is
-        handed to :meth:`MonteCarloSampler.run_batch`, which samples the
+        handed to the batched backend's ``run_batch``, which samples the
         whole group's job times directly from their exact distributions.
         Configs the batch path cannot express (open-system scenarios,
         non-static policies, trace owners, fractional demands) fall back to a
@@ -366,7 +365,8 @@ class SweepRunner:
             if self.cache is not None:
                 self.cache.store(config, fallback_mode, result)
         for indices in groups.values():
-            batch = MonteCarloSampler.run_batch([configs[i] for i in indices])
+            backend = get_backend(_BATCH_MODE)
+            batch = backend.run_batch([configs[i] for i in indices])
             for index, result in zip(indices, batch):
                 results[index] = result
         return SweepOutcome(

@@ -23,7 +23,7 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..cluster import MonteCarloSampler, SimulationConfig
+from ..cluster import SimulationConfig
 from ..core.analytical import evaluate, sweep_workstations
 from ..core.feasibility import feasibility_frontier, weighted_efficiency_at_task_ratio
 from ..core.metrics import compute_metrics

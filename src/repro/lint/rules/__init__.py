@@ -1,0 +1,22 @@
+"""Built-in simlint rules.
+
+Importing this package registers every built-in rule with the registry in
+:mod:`repro.lint.core` — the same import-time registration pattern the
+simulation backends use.
+"""
+
+# Import order fixes registration order (and so --list-rules / report order):
+# keep it numeric by rule id.
+from .determinism import DeterminismRule
+from .fingerprint import FingerprintCoverageRule
+from .interrupts import InterruptSafetyRule
+from .registry_bypass import RegistryBypassRule
+from .npz_symmetry import NpzSymmetryRule
+
+__all__ = [
+    "DeterminismRule",
+    "FingerprintCoverageRule",
+    "InterruptSafetyRule",
+    "NpzSymmetryRule",
+    "RegistryBypassRule",
+]

@@ -1,0 +1,159 @@
+"""SL001 — determinism: every random draw must flow through seeded streams.
+
+The sweep engine's bitwise-reproducibility guarantee (same results for any
+worker count, grid ordering or cache state) holds only because every sample
+descends from :class:`repro.desim.StreamRegistry` — one root seed, named
+child streams, per-point seeds via ``derive_seed``.  A single call to the
+stdlib ``random`` module, a ``numpy.random`` global-state function
+(``np.random.seed`` / ``np.random.normal`` / ...) or an unseeded
+``default_rng()`` silently breaks that chain: results stop replaying, cache
+entries stop matching, and the regression only surfaces as flaky figures.
+
+The rule flags, outside the allowed seed-derivation module(s):
+
+* any use of the stdlib ``random`` module (including names imported from it),
+* calls to ``numpy.random`` module-level functions (they share one hidden
+  global ``RandomState``),
+* zero-argument ``default_rng()`` / ``SeedSequence()`` calls (seeded from OS
+  entropy, different on every run).
+
+Explicitly seeded constructions — ``default_rng(42)``,
+``SeedSequence(entropy)`` — are fine: they are deterministic, they just
+bypass the stream-naming convention, which code review can weigh.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintRule, SourceFile, dotted_name, register_rule
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random attributes that are legitimate *types* or deterministic
+#: constructors when given arguments; everything else on the module is a
+#: global-state draw.
+_NUMPY_SEEDABLE = frozenset({"default_rng", "SeedSequence"})
+_NUMPY_TYPES = frozenset({"Generator", "BitGenerator", "PCG64", "Philox", "RandomState"})
+
+
+@register_rule
+class DeterminismRule(LintRule):
+    rule_id = "SL001"
+    summary = (
+        "no stdlib-random / numpy global-state / unseeded default_rng() draws "
+        "outside the stream registry"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if any(source.matches(suffix) for suffix in self.config.rng_allowed):
+            return
+        random_aliases: set[str] = set()  # names bound to the stdlib module
+        from_random: set[str] = set()  # names imported from it
+        numpy_random_aliases: set[str] = set()  # names bound to numpy.random
+        bare_rng_names: set[str] = set()  # default_rng/SeedSequence imported bare
+        for node in source.nodes_of(ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_aliases.add(alias.asname or "random")
+                if alias.name == "numpy.random":
+                    numpy_random_aliases.add(alias.asname or "numpy.random")
+        for node in source.nodes_of(ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                for alias in node.names:
+                    from_random.add(alias.asname or alias.name)
+            if node.module == "numpy.random" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in _NUMPY_SEEDABLE:
+                        bare_rng_names.add(alias.asname or alias.name)
+                    elif alias.name not in _NUMPY_TYPES:
+                        from_random.add(alias.asname or alias.name)
+
+        for node in source.nodes_of(ast.Call):
+            target = dotted_name(node.func)
+            if target is None:
+                continue
+            yield from self._check_call(source, node, target, random_aliases,
+                                        from_random, numpy_random_aliases,
+                                        bare_rng_names)
+
+    def _check_call(
+        self,
+        source: SourceFile,
+        node: ast.Call,
+        target: str,
+        random_aliases: set[str],
+        from_random: set[str],
+        numpy_random_aliases: set[str],
+        bare_rng_names: set[str],
+    ) -> Iterable[Finding]:
+        head, _, rest = target.partition(".")
+        if head in random_aliases and rest:
+            yield self.finding(
+                source,
+                node,
+                f"call to stdlib '{target}' draws from hidden global state; "
+                "route randomness through StreamRegistry streams "
+                "(seeds via StreamRegistry.derive_seed)",
+            )
+            return
+        if target in from_random and not rest:
+            yield self.finding(
+                source,
+                node,
+                f"'{target}' was imported from a random module and draws from "
+                "hidden global state; use a StreamRegistry stream instead",
+            )
+            return
+        if target in bare_rng_names and not node.args and not node.keywords:
+            yield self.finding(
+                source,
+                node,
+                f"bare '{target}()' seeds from OS entropy and is different on "
+                "every run; derive the seed via StreamRegistry.derive_seed",
+            )
+            return
+        # numpy.random.<fn> through any alias chain (np.random.X,
+        # numpy.random.X, nr.X for "import numpy.random as nr").
+        attr = self._numpy_random_attr(target, numpy_random_aliases)
+        if attr is None:
+            return
+        if attr in _NUMPY_TYPES:
+            return
+        if attr in _NUMPY_SEEDABLE:
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    source,
+                    node,
+                    f"bare '{target}()' seeds from OS entropy and is different "
+                    "on every run; derive the seed via "
+                    "StreamRegistry.derive_seed",
+                )
+            return
+        yield self.finding(
+            source,
+            node,
+            f"'{target}' uses numpy's hidden global RandomState; draw from a "
+            "named StreamRegistry stream instead",
+        )
+
+    @staticmethod
+    def _numpy_random_attr(
+        target: str, numpy_random_aliases: set[str]
+    ) -> str | None:
+        """The attribute called on ``numpy.random``, if the target is one.
+
+        Recognises ``numpy.random.X`` / ``np.random.X`` (any alias of the
+        ``numpy`` package followed by the literal ``random`` segment) and
+        direct aliases of the submodule (``import numpy.random as nr``).
+        """
+        parts = target.split(".")
+        if len(parts) < 2:
+            return None
+        prefix, attr = ".".join(parts[:-1]), parts[-1]
+        if prefix in numpy_random_aliases:
+            return attr
+        if len(parts) >= 3 and parts[-2] == "random" and parts[0] in ("np", "numpy"):
+            return attr
+        return None

@@ -1,0 +1,194 @@
+"""SL002 — fingerprint coverage: every config field must enter the cache key.
+
+:func:`repro.engine.cache.config_fingerprint` is the result cache's only
+defence against stale replays: two ``(config, mode)`` points share a cache
+entry exactly when their fingerprints collide, so *every* dataclass field
+that can change a simulation's output must enter the payload.  Historically
+that was enforced by a comment — add a field to ``SimulationConfig`` and you
+were trusted to extend the fingerprint and bump the schema version.  Forget,
+and a pre-existing cache silently replays results for configurations it
+never simulated (the exact incident class the schema-version history in
+``SCHEMA_HISTORY`` documents).
+
+The rule cross-checks, across the linted files:
+
+* each spec dataclass (``SimulationConfig``, ``ScenarioSpec``, ...) against
+  the attribute names read inside the fingerprint function — a field that is
+  never read (directly or via a configured covering attribute such as
+  ``effective_scenario``) is an error;
+* the ``SCHEMA_HISTORY`` tuple: versions must be contiguous from 1 and the
+  derived ``CACHE_VERSION`` must be the newest entry, so the recorded
+  history cannot drift from the code.
+
+The check is name-based (an attribute read anywhere in the function covers a
+same-named field on any spec class); that coarseness is deliberate — the
+rule is a tripwire for *forgotten* fields, and a forgotten field's name
+appears nowhere in the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from ..core import Finding, LintRule, SourceFile, register_rule
+
+__all__ = ["FingerprintCoverageRule"]
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    """Annotated field names of a dataclass body (ClassVar/private excluded)."""
+    out: list[tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        name = statement.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        out.append((name, statement))
+    return out
+
+
+@register_rule
+class FingerprintCoverageRule(LintRule):
+    rule_id = "SL002"
+    summary = (
+        "every spec-dataclass field must be read by config_fingerprint "
+        "(and SCHEMA_HISTORY must stay contiguous)"
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        fingerprint: tuple[SourceFile, ast.FunctionDef] | None = None
+        spec_classes: list[tuple[SourceFile, ast.ClassDef]] = []
+        for source in sources:
+            for node in source.nodes_of(ast.FunctionDef):
+                if node.name == self.config.fingerprint_function:
+                    fingerprint = (source, node)
+            for node in source.nodes_of(ast.ClassDef):
+                if node.name in self.config.spec_classes and _is_dataclass(node):
+                    spec_classes.append((source, node))
+        if fingerprint is None:
+            # Nothing to check in this file set (e.g. linting examples/ only).
+            return
+        fp_source, fp_node = fingerprint
+        covered = {
+            attribute.attr
+            for attribute in ast.walk(fp_node)
+            if isinstance(attribute, ast.Attribute)
+        }
+        for via, fields in self.config.fingerprint_covered_by.items():
+            if via in covered:
+                covered.update(fields)
+
+        for source, class_node in spec_classes:
+            for name, field_node in _dataclass_fields(class_node):
+                if name in covered:
+                    continue
+                yield self.finding(
+                    source,
+                    field_node,
+                    f"{class_node.name}.{name} never enters "
+                    f"{self.config.fingerprint_function}(); a cache entry "
+                    "written before this field existed would silently replay "
+                    "for configs that differ in it — add it to the payload "
+                    "and record a new schema version in "
+                    f"{self.config.schema_history_name}",
+                )
+
+        yield from self._check_schema_history(fp_source)
+
+    # -- schema history ----------------------------------------------------
+
+    def _check_schema_history(self, source: SourceFile) -> Iterable[Finding]:
+        """Validate the schema-history tuple in the fingerprint module.
+
+        ``SCHEMA_HISTORY`` is the single record of what each schema version
+        added; ``CACHE_VERSION`` must be derived from (or equal) its newest
+        entry and the versions must run 1..N without gaps, so history and
+        code cannot drift apart.
+        """
+        history_node: ast.AST | None = None
+        versions: list[int] | None = None
+        cache_version: int | None = None
+        derived_from_history = False
+        for node in source.nodes_of(ast.Assign, ast.AnnAssign):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            names = {t.id for t in targets if isinstance(t, ast.Name)}
+            value = node.value
+            if value is None:
+                continue
+            if self.config.schema_history_name in names:
+                history_node = node
+                versions = self._entry_versions(value)
+            if self.config.cache_version_name in names:
+                if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                    cache_version = value.value
+                else:
+                    rendered = ast.unparse(value)
+                    derived_from_history = (
+                        self.config.schema_history_name in rendered
+                    )
+        if history_node is None:
+            return
+        if versions is None:
+            yield self.finding(
+                source,
+                history_node,
+                f"{self.config.schema_history_name} must be a literal tuple of "
+                "(version, description) entries so the schema record is "
+                "statically checkable",
+            )
+            return
+        if versions != list(range(1, len(versions) + 1)):
+            yield self.finding(
+                source,
+                history_node,
+                f"{self.config.schema_history_name} versions must run "
+                f"contiguously from 1, got {versions!r} — every bump needs "
+                "its own entry saying what changed",
+            )
+        if not derived_from_history and (
+            cache_version is not None
+            and versions
+            and cache_version != versions[-1]
+        ):
+            yield self.finding(
+                source,
+                history_node,
+                f"{self.config.cache_version_name} ({cache_version}) does not "
+                f"match the newest {self.config.schema_history_name} entry "
+                f"({versions[-1]}); derive it from the history so they cannot "
+                "drift",
+            )
+
+    @staticmethod
+    def _entry_versions(value: ast.AST) -> list[int] | None:
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        versions: list[int] = []
+        for entry in value.elts:
+            if (
+                not isinstance(entry, (ast.Tuple, ast.List))
+                or len(entry.elts) < 2
+                or not isinstance(entry.elts[0], ast.Constant)
+                or not isinstance(entry.elts[0].value, int)
+            ):
+                return None
+            versions.append(entry.elts[0].value)
+        return versions

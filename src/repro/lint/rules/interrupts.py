@@ -1,0 +1,111 @@
+"""SL003 — interrupt safety: desim processes must not swallow Interrupts.
+
+:class:`repro.desim.Interrupt` is how the simulator delivers preemptions
+(the owner reclaiming a CPU) and kills (preemptive admission evicting a job)
+into a running process generator.  Because ``Interrupt`` subclasses
+``Exception``, an innocent ``try/except`` around a ``yield`` can swallow one
+— and the failure mode is vicious: the process resumes as if nothing
+happened, holding resources it should have released, and the books stay
+subtly wrong instead of crashing.  PRs 3 and 4 each shipped a real bug of
+exactly this class (an Interrupt delivered at the CPU-grant instant escaped
+— or was about to be swallowed by — a ``try/except`` in
+``Workstation.execute_task``); hypothesis tests happened to flush them.
+
+The rule inspects every ``try`` statement inside a *generator* function (the
+only functions desim can interrupt).  A handler that can catch ``Interrupt``
+— naming it directly, or a catch-all ``except``/``except Exception``/
+``except BaseException`` around a body that yields — must do one of:
+
+* re-raise (a ``raise`` statement somewhere in the handler), or
+* inspect the interrupt's ``cause`` (the ``exc.cause`` pattern used to
+  distinguish an owner preemption from an admission kill).
+
+Handlers doing neither absorb *every* interrupt cause unconditionally, which
+is exactly the bug class this rule exists to stop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintRule, SourceFile, handler_type_names, register_rule
+
+__all__ = ["InterruptSafetyRule"]
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    """Whether the subtree yields (ignoring nested function definitions)."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """A ``raise`` anywhere in the handler body counts as propagating."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _handler_checks_cause(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler reads ``<exc>.cause`` (matching the interrupt)."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Attribute) and node.attr == "cause":
+            if bound is None:
+                return True
+            if isinstance(node.value, ast.Name) and node.value.id == bound:
+                return True
+    return False
+
+
+@register_rule
+class InterruptSafetyRule(LintRule):
+    rule_id = "SL003"
+    summary = (
+        "except blocks in process generators must re-raise or match the "
+        "cause of a caught Interrupt"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        for function in source.generator_functions():
+            for statement in ast.walk(function):
+                if not isinstance(statement, ast.Try):
+                    continue
+                if source.enclosing_function(statement) is not function:
+                    continue  # belongs to a nested function; checked there
+                yield from self._check_try(source, statement)
+
+    def _check_try(self, source: SourceFile, statement: ast.Try) -> Iterable[Finding]:
+        body_yields = any(_contains_yield(part) for part in statement.body)
+        for handler in statement.handlers:
+            names = handler_type_names(handler)
+            if names is None:
+                explicit = False
+                catches = body_yields  # bare except around a yield
+            else:
+                explicit = "Interrupt" in names
+                broad = any(
+                    name in self.config.interrupt_names and name != "Interrupt"
+                    for name in names
+                )
+                catches = explicit or (broad and body_yields)
+            if not catches:
+                continue
+            if _handler_reraises(handler) or _handler_checks_cause(handler):
+                continue
+            caught = "Interrupt" if explicit else (
+                "except" if names is None else ", ".join(names)
+            )
+            yield self.finding(
+                source,
+                handler,
+                f"handler ({caught}) inside a process generator can swallow a "
+                "preemption/kill Interrupt without re-raising or checking "
+                "exc.cause; the process would resume as if never interrupted "
+                "— match the cause (e.g. isinstance(exc.cause, Preempted)) "
+                "and re-raise anything else",
+            )

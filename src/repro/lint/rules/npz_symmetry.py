@@ -1,0 +1,145 @@
+"""SL005 — NPZ symmetry: each backend's cache layout must round-trip.
+
+Every backend owns its on-disk NPZ layout through the paired
+``serialize_result`` / ``deserialize_result`` hooks: the result cache stores
+exactly the arrays serialize returns and hands them back to deserialize on a
+hit.  The two methods therefore form one contract — a key written but never
+read is dead weight in every cache entry, and a key read but never written
+makes *every* load raise ``KeyError``, which the cache treats as a miss: the
+backend would silently resimulate forever, the worst kind of cache bug
+because nothing crashes.
+
+The rule statically extracts, for every class defining both hooks:
+
+* the **written** keys: string keys of dict literals returned by (or built
+  in) ``serialize_result``;
+* the **read** keys: string subscripts (``arrays["job_times"]``) plus
+  all-string tuple/list literals (the ``for key in (...)`` loading idiom)
+  inside ``deserialize_result``;
+
+and requires the sets to match.  A class overriding only one of the two
+hooks is flagged outright — it would pair its own layout with its parent's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from ..core import Finding, LintRule, SourceFile, register_rule
+
+__all__ = ["NpzSymmetryRule"]
+
+
+def _dict_literal_keys(function: ast.FunctionDef) -> set[str] | None:
+    """String keys of dict literals in the function (None if none found)."""
+    keys: set[str] = set()
+    found = False
+    for node in ast.walk(function):
+        if isinstance(node, ast.Dict):
+            found = True
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Subscript):
+            # serialize may also build the mapping imperatively:
+            # arrays["job_times"] = ...
+            if (
+                isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+                and isinstance(node.ctx, ast.Store)
+            ):
+                found = True
+                keys.add(node.slice.value)
+    return keys if found else None
+
+
+def _read_keys(function: ast.FunctionDef) -> set[str]:
+    """Keys the deserialize hook loads from its ``arrays`` mapping."""
+    keys: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                keys.add(node.slice.value)
+        elif isinstance(node, (ast.Tuple, ast.List)) and node.elts:
+            elements = [
+                element.value
+                for element in node.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+            if len(elements) == len(node.elts):
+                # An all-string tuple/list is the `for key in (...)` loading
+                # idiom; mixed tuples are something else.
+                keys.update(elements)
+    return keys
+
+
+@register_rule
+class NpzSymmetryRule(LintRule):
+    rule_id = "SL005"
+    summary = (
+        "serialize_result / deserialize_result NPZ key sets must match per "
+        "backend"
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        for source in sources:
+            for node in source.nodes_of(ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, class_node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        serialize: ast.FunctionDef | None = None
+        deserialize: ast.FunctionDef | None = None
+        for statement in class_node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if statement.name == self.config.serialize_method:
+                    serialize = statement
+                elif statement.name == self.config.deserialize_method:
+                    deserialize = statement
+        if serialize is None and deserialize is None:
+            return
+        if serialize is None or deserialize is None:
+            present, absent = (
+                (self.config.serialize_method, self.config.deserialize_method)
+                if serialize is not None
+                else (self.config.deserialize_method, self.config.serialize_method)
+            )
+            yield self.finding(
+                source,
+                serialize or deserialize,  # type: ignore[arg-type]
+                f"{class_node.name} overrides {present} but not {absent}; the "
+                "NPZ hooks form one layout contract and must be overridden "
+                "as a pair",
+            )
+            return
+        written = _dict_literal_keys(serialize)
+        if written is None:
+            # Layout built dynamically (e.g. delegated to a helper); nothing
+            # statically checkable here.
+            return
+        read = _read_keys(deserialize)
+        missing = sorted(written - read)
+        extra = sorted(read - written)
+        if missing:
+            yield self.finding(
+                source,
+                deserialize,
+                f"{class_node.name}.{self.config.deserialize_method} never "
+                f"reads key(s) {missing!r} that "
+                f"{self.config.serialize_method} writes; the cache layout "
+                "does not round-trip",
+            )
+        if extra:
+            yield self.finding(
+                source,
+                deserialize,
+                f"{class_node.name}.{self.config.deserialize_method} reads "
+                f"key(s) {extra!r} that {self.config.serialize_method} never "
+                "writes; every cache load would KeyError and be treated as a "
+                "miss (permanent silent resimulation)",
+            )

@@ -1,0 +1,161 @@
+"""File discovery, rule execution and report formatting for simlint.
+
+:func:`run_lint` is the library entry point (the CLI ``lint`` subcommand is
+a thin argparse wrapper over it): discover the Python files under the given
+paths, parse each once into a shared :class:`~repro.lint.core.SourceFile`,
+run every selected rule — per-file rules over each file, project rules over
+the whole set — and return the findings with suppression pragmas applied,
+sorted by location.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import LintConfig, load_config
+from .core import Finding, SourceFile, all_rules, get_rule
+
+# Importing the rules package registers the built-in rules.
+from . import rules as _builtin_rules  # noqa: F401
+
+__all__ = [
+    "discover_files",
+    "run_lint",
+    "format_findings",
+    "format_text",
+    "format_json",
+]
+
+#: Directory names never descended into during discovery.
+_SKIPPED_DIRS = {
+    ".git",
+    "__pycache__",
+    ".hypothesis",
+    ".pytest_cache",
+    ".repro-cache",
+    ".benchmarks",
+}
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Python files under the given files/directories, stably ordered."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not (set(candidate.parts) & _SKIPPED_DIRS)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def select_rules(
+    config: LintConfig,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[type]:
+    """Resolve the rule classes to run, honouring CLI/config select/ignore.
+
+    Unknown ids raise (with the known ids listed) rather than silently
+    checking nothing.
+    """
+    selected = tuple(select) if select else config.select
+    ignored = set(ignore) if ignore else set(config.ignore)
+    for rule_id in (*selected, *ignored):
+        get_rule(rule_id)  # raises on unknown ids
+    chosen = (
+        [get_rule(rule_id) for rule_id in selected] if selected else list(all_rules())
+    )
+    return [rule for rule in chosen if rule.rule_id not in ignored]
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint the given paths and return the surviving findings.
+
+    A file that does not parse produces a single pseudo-finding (rule
+    ``SL000``) at the syntax-error location — the rules themselves only ever
+    see parseable trees.
+    """
+    if config is None:
+        first = Path(paths[0]) if paths else Path.cwd()
+        config = load_config(first)
+    sources = [SourceFile(path) for path in discover_files(paths)]
+    findings: list[Finding] = []
+    for source in sources:
+        if source.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="SL000",
+                    path=str(source.path),
+                    line=source.parse_error.lineno or 1,
+                    column=source.parse_error.offset or 1,
+                    message=f"syntax error: {source.parse_error.msg}",
+                )
+            )
+    rule_instances = [rule(config) for rule in select_rules(config, select, ignore)]
+    for rule in rule_instances:
+        for source in sources:
+            findings.extend(rule.check_file(source))
+        findings.extend(rule.check_project(sources))
+    by_path = {str(source.path): source for source in sources}
+    surviving = [
+        finding
+        for finding in findings
+        if finding.rule == "SL000"
+        or not by_path[finding.path].is_suppressed(finding.rule, finding.line)
+    ]
+    surviving.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return surviving
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per line."""
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"simlint: {len(findings)} finding(s)"
+        if findings
+        else "simlint: clean"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    return json.dumps(
+        {
+            "findings": [finding.as_dict() for finding in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render a report in the requested format (``text`` or ``json``)."""
+    if fmt == "json":
+        return format_json(findings)
+    if fmt == "text":
+        return format_text(findings)
+    raise ValueError(f"unknown report format {fmt!r}; expected 'text' or 'json'")

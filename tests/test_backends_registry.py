@@ -7,6 +7,7 @@ construction **bitwise** for every mode, and every registered backend's NPZ
 serialize/deserialize hooks round-trip its result bitwise through
 :class:`~repro.engine.ResultCache`.
 """
+# simlint: ignore-file[SL004] - these tests exercise the registry internals themselves
 
 from __future__ import annotations
 

@@ -61,6 +61,17 @@ class TestCacheSchemaV2:
         # exactly so a fingerprint-payload change must bump the schema.
         assert CACHE_VERSION == 5
 
+    def test_schema_history_is_the_source_of_truth(self):
+        from repro.engine import SCHEMA_HISTORY
+
+        versions = [version for version, _ in SCHEMA_HISTORY]
+        assert versions == list(range(1, len(versions) + 1))
+        assert CACHE_VERSION == SCHEMA_HISTORY[-1][0]
+        assert all(
+            isinstance(description, str) and description
+            for _, description in SCHEMA_HISTORY
+        )
+
     def test_v1_entries_never_replay(self, tmp_path, paper_owner):
         """An NPZ written under the schema-1 key must be a miss, not a stale hit."""
         config = SimulationConfig(

@@ -1,0 +1,855 @@
+"""Per-rule fixture tests for the simlint static-analysis pass.
+
+Every rule gets at least one fixture it must flag (the true positive) and
+one clean fixture it must stay silent on, including the two incident-class
+fixtures the pass exists for: the PR-3 Interrupt-at-grant-instant pattern
+(SL003) and a new ``SimulationConfig`` field that never reaches
+``config_fingerprint`` (SL002).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, all_rules, get_rule, register_rule, rule_names
+from repro.lint.core import Finding, LintRule, SourceFile
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.fingerprint import FingerprintCoverageRule
+from repro.lint.rules.interrupts import InterruptSafetyRule
+from repro.lint.rules.npz_symmetry import NpzSymmetryRule
+from repro.lint.rules.registry_bypass import RegistryBypassRule
+
+
+def _source(code: str, path: str = "fixture.py") -> SourceFile:
+    return SourceFile(path, text=textwrap.dedent(code))
+
+
+def _file_findings(rule_cls, code: str, path: str = "fixture.py", config=None):
+    rule = rule_cls(config or LintConfig())
+    return list(rule.check_file(_source(code, path)))
+
+
+def _project_findings(rule_cls, *sources, config=None):
+    rule = rule_cls(config or LintConfig())
+    return list(rule.check_project(list(sources)))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRuleRegistry:
+    def test_builtin_rules_registered_in_order(self):
+        assert rule_names() == ("SL001", "SL002", "SL003", "SL004", "SL005")
+        assert [rule.rule_id for rule in all_rules()] == list(rule_names())
+
+    def test_get_rule_unknown_id_lists_known(self):
+        with pytest.raises(ValueError, match="SL001"):
+            get_rule("SL999")
+
+    def test_double_registration_refused_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_rule
+            class Clone(LintRule):
+                rule_id = "SL001"
+                summary = "clone"
+
+    def test_replace_reinstates_original(self):
+        original = get_rule("SL001")
+
+        @register_rule(replace=True)
+        class Shadow(LintRule):
+            rule_id = "SL001"
+            summary = "shadow"
+
+        try:
+            assert get_rule("SL001") is Shadow
+        finally:
+            register_rule(original, replace=True)
+        assert get_rule("SL001") is original
+
+    def test_rule_without_id_rejected(self):
+        with pytest.raises(ValueError, match="rule_id"):
+
+            @register_rule
+            class Nameless(LintRule):
+                summary = "no id"
+
+
+# ---------------------------------------------------------------------------
+# SL001 determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_stdlib_random_call_flagged(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        assert len(findings) == 1
+        assert "random.random" in findings[0].message
+
+    def test_name_imported_from_random_flagged(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            from random import shuffle
+
+            def mix(items):
+                shuffle(items)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_numpy_global_state_flagged(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            import numpy as np
+
+            def draw():
+                np.random.seed(0)
+                return np.random.normal(size=3)
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_bare_default_rng_flagged(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """,
+        )
+        assert len(findings) == 1
+        assert "OS entropy" in findings[0].message
+
+    def test_bare_default_rng_imported_name_flagged(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            from numpy.random import default_rng
+
+            def make():
+                return default_rng()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_seeded_default_rng_clean(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert findings == []
+
+    def test_generator_type_annotation_clean(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            import numpy as np
+
+            def sample(rng: np.random.Generator):
+                return rng.normal()
+            """,
+        )
+        assert findings == []
+
+    def test_allowed_module_exempt(self):
+        findings = _file_findings(
+            DeterminismRule,
+            """
+            import numpy as np
+
+            def root():
+                return np.random.default_rng()
+            """,
+            path="src/repro/desim/rng.py",
+        )
+        assert findings == []
+
+    def test_repo_rng_module_is_clean(self):
+        source = SourceFile("src/repro/desim/rng.py")
+        rule = DeterminismRule(LintConfig())
+        # The exemption applies by path; without it the module would trip
+        # (it is the one place allowed to build raw generators).
+        assert list(rule.check_file(source)) == []
+
+
+# ---------------------------------------------------------------------------
+# SL002 fingerprint coverage
+# ---------------------------------------------------------------------------
+
+_FINGERPRINT_MODULE = """
+SCHEMA_HISTORY = (
+    (1, "initial"),
+    (2, "scenario fields"),
+)
+CACHE_VERSION = SCHEMA_HISTORY[-1][0]
+
+def config_fingerprint(config, mode):
+    return hash((config.seed, config.workstations))
+"""
+
+
+class TestFingerprintCoverage:
+    def test_new_config_field_without_coverage_flagged(self):
+        spec = _source(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SimulationConfig:
+                workstations: int
+                seed: int
+                shiny_new_knob: float = 0.0
+            """
+        )
+        findings = _project_findings(
+            FingerprintCoverageRule, spec, _source(_FINGERPRINT_MODULE)
+        )
+        assert len(findings) == 1
+        assert "shiny_new_knob" in findings[0].message
+        assert "SCHEMA_HISTORY" in findings[0].message
+
+    def test_covered_fields_clean(self):
+        spec = _source(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SimulationConfig:
+                workstations: int
+                seed: int
+            """
+        )
+        findings = _project_findings(
+            FingerprintCoverageRule, spec, _source(_FINGERPRINT_MODULE)
+        )
+        assert findings == []
+
+    def test_alias_covers_indirect_fields(self):
+        spec = _source(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SimulationConfig:
+                seed: int
+                owner: object = None
+                scenario: object = None
+            """
+        )
+        fingerprint = _source(
+            """
+            SCHEMA_HISTORY = ((1, "initial"),)
+            CACHE_VERSION = SCHEMA_HISTORY[-1][0]
+
+            def config_fingerprint(config, mode):
+                return hash((config.seed, config.effective_scenario))
+            """
+        )
+        findings = _project_findings(FingerprintCoverageRule, spec, fingerprint)
+        assert findings == []
+
+    def test_no_fingerprint_in_file_set_is_silent(self):
+        spec = _source(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SimulationConfig:
+                mystery: int = 0
+            """
+        )
+        assert _project_findings(FingerprintCoverageRule, spec) == []
+
+    def test_classvar_and_private_fields_ignored(self):
+        spec = _source(
+            """
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            @dataclass
+            class SimulationConfig:
+                seed: int
+                kind: ClassVar[str] = "config"
+                _cached: object = None
+            """
+        )
+        findings = _project_findings(
+            FingerprintCoverageRule, spec, _source(_FINGERPRINT_MODULE)
+        )
+        assert findings == []
+
+    def test_gap_in_schema_history_flagged(self):
+        fingerprint = _source(
+            """
+            SCHEMA_HISTORY = ((1, "initial"), (3, "skipped two"))
+            CACHE_VERSION = SCHEMA_HISTORY[-1][0]
+
+            def config_fingerprint(config, mode):
+                return 0
+            """
+        )
+        findings = _project_findings(FingerprintCoverageRule, fingerprint)
+        assert len(findings) == 1
+        assert "contiguously" in findings[0].message
+
+    def test_hardcoded_stale_cache_version_flagged(self):
+        fingerprint = _source(
+            """
+            SCHEMA_HISTORY = ((1, "initial"), (2, "more"))
+            CACHE_VERSION = 1
+
+            def config_fingerprint(config, mode):
+                return 0
+            """
+        )
+        findings = _project_findings(FingerprintCoverageRule, fingerprint)
+        assert len(findings) == 1
+        assert "does not match" in findings[0].message
+
+    def test_hardcoded_but_current_cache_version_clean(self):
+        fingerprint = _source(
+            """
+            SCHEMA_HISTORY = ((1, "initial"), (2, "more"))
+            CACHE_VERSION = 2
+
+            def config_fingerprint(config, mode):
+                return 0
+            """
+        )
+        assert _project_findings(FingerprintCoverageRule, fingerprint) == []
+
+    def test_non_literal_history_flagged(self):
+        fingerprint = _source(
+            """
+            SCHEMA_HISTORY = build_history()
+            CACHE_VERSION = 2
+
+            def config_fingerprint(config, mode):
+                return 0
+            """
+        )
+        findings = _project_findings(FingerprintCoverageRule, fingerprint)
+        assert len(findings) == 1
+        assert "literal tuple" in findings[0].message
+
+    def test_real_tree_is_covered(self):
+        # The repo's own cache module + spec dataclasses must satisfy the
+        # rule — this is the live guarantee, not a fixture.
+        sources = [
+            SourceFile("src/repro/engine/cache.py"),
+            SourceFile("src/repro/backends/base.py"),
+            SourceFile("src/repro/core/params.py"),
+        ]
+        assert _project_findings(FingerprintCoverageRule, *sources) == []
+
+
+# ---------------------------------------------------------------------------
+# SL003 interrupt safety
+# ---------------------------------------------------------------------------
+
+
+class TestInterruptSafety:
+    def test_pr3_interrupt_at_grant_instant_pattern_flagged(self):
+        # The PR-3 incident shape: the grant `yield req` sits inside the same
+        # try as the service timeout, so an Interrupt delivered at the grant
+        # instant lands in a handler that neither re-raises nor checks the
+        # cause — the task resumes as if never preempted.
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def execute_task(env, cpu, demand):
+                remaining = demand
+                while remaining > 0:
+                    with cpu.request(priority=5) as req:
+                        try:
+                            yield req
+                            start = env.now
+                            yield env.timeout(remaining)
+                            remaining = 0
+                        except Interrupt:
+                            remaining -= env.now - start
+            """,
+        )
+        assert len(findings) == 1
+        assert "swallow" in findings[0].message
+
+    def test_cause_checking_handler_clean(self):
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def execute_task(env, cpu, demand):
+                try:
+                    yield env.timeout(demand)
+                except Interrupt as exc:
+                    if not isinstance(exc.cause, Preempted):
+                        raise
+                    record(exc.cause)
+            """,
+        )
+        assert findings == []
+
+    def test_reraising_handler_clean(self):
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                try:
+                    yield env.timeout(1)
+                except Interrupt:
+                    cleanup()
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_broad_exception_around_yield_flagged(self):
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                try:
+                    yield env.timeout(1)
+                except Exception:
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_bare_except_around_yield_flagged(self):
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                try:
+                    yield env.timeout(1)
+                except:
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_broad_exception_without_yield_in_body_clean(self):
+        # No yield inside the try: the runtime cannot deliver an Interrupt
+        # there, so a broad handler is ordinary error handling.
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                try:
+                    value = parse(env.payload)
+                except Exception:
+                    value = None
+                yield env.timeout(value or 1)
+            """,
+        )
+        assert findings == []
+
+    def test_explicit_interrupt_handler_flagged_even_without_yield(self):
+        # Naming Interrupt is an explicit statement about preemptions; even
+        # around a non-yielding body it must not swallow silently.
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                try:
+                    account()
+                except Interrupt:
+                    pass
+                yield env.timeout(1)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_non_generator_function_ignored(self):
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def helper(env):
+                try:
+                    return env.compute()
+                except Exception:
+                    return None
+            """,
+        )
+        assert findings == []
+
+    def test_nested_function_try_attributed_to_inner(self):
+        # The try belongs to the nested *non*-generator helper, so the outer
+        # generator's scan must not claim it.
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                def helper():
+                    try:
+                        return compute()
+                    except Exception:
+                        return None
+                yield env.timeout(helper())
+            """,
+        )
+        assert findings == []
+
+    def test_unrelated_exception_type_clean(self):
+        findings = _file_findings(
+            InterruptSafetyRule,
+            """
+            def proc(env):
+                try:
+                    yield env.timeout(1)
+                except ValueError:
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SL004 registry bypass
+# ---------------------------------------------------------------------------
+
+_BACKEND_MODULE = """
+from .base import SimulationBackend, register_backend
+
+@register_backend
+class MonteCarloSampler(SimulationBackend):
+    name = "monte-carlo"
+
+    def run(self):
+        return None
+"""
+
+
+class TestRegistryBypass:
+    def _sources(self, client_code: str, client_path: str = "src/repro/engine/client.py"):
+        backend = _source(_BACKEND_MODULE, path="src/repro/backends/monte_carlo.py")
+        client = _source(client_code, path=client_path)
+        return backend, client
+
+    def test_direct_instantiation_flagged(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from repro.backends import MonteCarloSampler
+
+                def run(config):
+                    return MonteCarloSampler(config).run()
+                """
+            ),
+        )
+        assert len(findings) == 1
+        assert "direct instantiation" in findings[0].message
+
+    def test_class_attribute_access_flagged(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from repro.backends import MonteCarloSampler
+
+                def run(configs):
+                    return MonteCarloSampler.run_batch(configs)
+                """
+            ),
+        )
+        assert len(findings) == 1
+        assert "run_batch" in findings[0].message
+
+    def test_private_registry_attribute_flagged(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from repro.backends import base
+
+                def names():
+                    return list(base._REGISTRY)
+                """
+            ),
+        )
+        assert len(findings) == 1
+        assert "_REGISTRY" in findings[0].message
+
+    def test_imported_private_registry_name_flagged(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from repro.backends.base import _REGISTRY
+
+                def names():
+                    return list(_REGISTRY)
+                """
+            ),
+        )
+        # the import itself is fine; the *use* is the bypass
+        assert len(findings) == 1
+        assert "private registry state" in findings[0].message
+
+    def test_unrelated_local_registry_name_clean(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                _REGISTRY = {}
+
+                def register(name, value):
+                    _REGISTRY[name] = value
+                """
+            ),
+        )
+        assert findings == []
+
+    def test_registry_dispatch_clean(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from repro.backends import get_backend
+
+                def run(config, mode):
+                    return get_backend(mode)(config).run()
+                """
+            ),
+        )
+        assert findings == []
+
+    def test_reexport_import_clean(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from repro.backends import MonteCarloSampler
+
+                __all__ = ["MonteCarloSampler"]
+                """,
+                client_path="src/repro/cluster/simulation.py",
+            ),
+        )
+        assert findings == []
+
+    def test_backends_package_itself_exempt(self):
+        findings = _project_findings(
+            RegistryBypassRule,
+            *self._sources(
+                """
+                from .monte_carlo import MonteCarloSampler
+
+                def fast_path(configs):
+                    return MonteCarloSampler.run_batch(configs)
+                """,
+                client_path="src/repro/backends/batching.py",
+            ),
+        )
+        assert findings == []
+
+    def test_defining_module_exempt(self):
+        backend = _source(
+            _BACKEND_MODULE
+            + """
+
+def _self_test(config):
+    return MonteCarloSampler(config)
+""",
+            path="src/repro/cluster/legacy.py",
+        )
+        assert _project_findings(RegistryBypassRule, backend) == []
+
+    def test_subclass_of_base_counts_as_backend(self):
+        backend = _source(
+            """
+            class EventDrivenClusterSimulator(SimulationBackend):
+                name = "event-driven"
+            """,
+            path="src/repro/backends/event_driven.py",
+        )
+        client = _source(
+            """
+            from repro.backends import EventDrivenClusterSimulator
+
+            def run(config):
+                return EventDrivenClusterSimulator(config).run()
+            """,
+            path="src/repro/engine/client.py",
+        )
+        findings = _project_findings(RegistryBypassRule, backend, client)
+        assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# SL005 NPZ symmetry
+# ---------------------------------------------------------------------------
+
+
+class TestNpzSymmetry:
+    def test_key_written_but_never_read_flagged(self):
+        source = _source(
+            """
+            class Backend:
+                @classmethod
+                def serialize_result(cls, result):
+                    return {"job_times": result.job_times, "extra": result.extra}
+
+                @classmethod
+                def deserialize_result(cls, config, arrays):
+                    return Result(job_times=arrays["job_times"])
+            """
+        )
+        findings = _project_findings(NpzSymmetryRule, source)
+        assert len(findings) == 1
+        assert "'extra'" in findings[0].message
+        assert "round-trip" in findings[0].message
+
+    def test_key_read_but_never_written_flagged(self):
+        source = _source(
+            """
+            class Backend:
+                @classmethod
+                def serialize_result(cls, result):
+                    return {"job_times": result.job_times}
+
+                @classmethod
+                def deserialize_result(cls, config, arrays):
+                    return Result(
+                        job_times=arrays["job_times"],
+                        widths=arrays["widths"],
+                    )
+            """
+        )
+        findings = _project_findings(NpzSymmetryRule, source)
+        assert len(findings) == 1
+        assert "'widths'" in findings[0].message
+        assert "resimulation" in findings[0].message
+
+    def test_matching_layout_clean(self):
+        source = _source(
+            """
+            class Backend:
+                @classmethod
+                def serialize_result(cls, result):
+                    return {"a": result.a, "b": result.b}
+
+                @classmethod
+                def deserialize_result(cls, config, arrays):
+                    return Result(a=arrays["a"], b=arrays["b"])
+            """
+        )
+        assert _project_findings(NpzSymmetryRule, source) == []
+
+    def test_tuple_loading_idiom_counts_as_read(self):
+        source = _source(
+            """
+            class Backend:
+                @classmethod
+                def serialize_result(cls, result):
+                    return {"a": result.a, "b": result.b}
+
+                @classmethod
+                def deserialize_result(cls, config, arrays):
+                    data = {key: arrays[key] for key in ("a", "b")}
+                    return Result(**data)
+            """
+        )
+        assert _project_findings(NpzSymmetryRule, source) == []
+
+    def test_single_overridden_hook_flagged(self):
+        source = _source(
+            """
+            class Backend:
+                @classmethod
+                def serialize_result(cls, result):
+                    return {"a": result.a}
+            """
+        )
+        findings = _project_findings(NpzSymmetryRule, source)
+        assert len(findings) == 1
+        assert "pair" in findings[0].message
+
+    def test_class_without_hooks_ignored(self):
+        source = _source(
+            """
+            class Plain:
+                def run(self):
+                    return 1
+            """
+        )
+        assert _project_findings(NpzSymmetryRule, source) == []
+
+    def test_real_backends_round_trip(self):
+        sources = [
+            SourceFile("src/repro/backends/base.py"),
+            SourceFile("src/repro/backends/open_system.py"),
+        ]
+        assert _project_findings(NpzSymmetryRule, *sources) == []
+
+
+# ---------------------------------------------------------------------------
+# shared core: suppressions, generators, findings
+# ---------------------------------------------------------------------------
+
+
+class TestSourceFileCore:
+    def test_per_line_pragma_suppresses_only_that_rule(self):
+        source = _source(
+            """
+            x = 1  # simlint: ignore[SL001]
+            y = 2  # simlint: ignore[SL001, SL003]
+            z = 3  # simlint: ignore
+            """
+        )
+        assert source.is_suppressed("SL001", 2)
+        assert not source.is_suppressed("SL004", 2)
+        assert source.is_suppressed("SL003", 3)
+        # a bare ignore mutes every rule on its line
+        assert source.is_suppressed("SL005", 4)
+        assert not source.is_suppressed("SL001", 5)
+
+    def test_file_pragma_requires_rule_list(self):
+        listed = _source("# simlint: ignore-file[SL004]\nx = 1\n")
+        assert listed.is_suppressed("SL004", 99)
+        assert not listed.is_suppressed("SL001", 99)
+        blanket = _source("# simlint: ignore-file\nx = 1\n")
+        assert not blanket.is_suppressed("SL004", 99)
+
+    def test_generator_detection_ignores_nested_yield(self):
+        source = _source(
+            """
+            def outer():
+                def inner():
+                    yield 1
+                return inner
+
+            def gen():
+                yield 2
+            """
+        )
+        names = {fn.name for fn in source.generator_functions()}
+        assert names == {"inner", "gen"}
+
+    def test_finding_render_format(self):
+        finding = Finding(rule="SL001", path="a.py", line=3, column=7, message="boom")
+        assert finding.render() == "a.py:3:7: SL001 boom"
+        assert finding.as_dict()["line"] == 3

@@ -6,6 +6,7 @@ bit of the homogeneous results, must stay within the established tolerances of
 the analytical model, and must agree with the heterogeneous product-CDF closed
 forms where those apply.
 """
+# simlint: ignore-file[SL004] - reduction tests call the batch sampler directly
 
 from __future__ import annotations
 
