@@ -10,17 +10,23 @@ second CPU to use.
 A second case races the *vectorized* path on a heterogeneous concentration
 grid against the scalar per-config path, asserting the >= 3x speedup the
 group-max batched sampler delivers plus statistical agreement within the
-batch-means CI, and emits a ``BENCH_sweep.json`` artifact (CI uploads it) so
-the speedup is tracked across commits.
+batch-means CI, appending to the ``BENCH_sweep.json`` trajectory (committed
+baseline + CI artifact) so the speedup is tracked across commits.
+
+A third case races the array *event kernel* against the generator oracles on
+the two event-driven grids — ``policy-compare`` (closed, every scheduling
+policy) and ``arrival-sweep`` (open Poisson streams) — asserting bitwise
+identity on every point plus the >= 5x throughput gate, and appending to the
+``BENCH_kernel.json`` trajectory.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from conftest import append_and_compare
+from repro.backends import get_backend
 from repro.engine import SweepRunner, build_grid
 from repro.experiments.report import format_mapping
 
@@ -89,10 +95,6 @@ HETERO_KWARGS = dict(
     concentration_levels=(0.0, 0.5, 1.0),
 )
 
-#: Where the JSON artifact lands (override with BENCH_DIR, e.g. in CI).
-BENCH_ARTIFACT = Path(os.environ.get("BENCH_DIR", ".")) / "BENCH_sweep.json"
-
-
 def test_sweep_engine_vectorized_heterogeneous(once):
     """Vectorized heterogeneous sweep: >= 3x over scalar, CI-level agreement."""
     grid = build_grid("hetero-concentration", **HETERO_KWARGS)
@@ -124,10 +126,84 @@ def test_sweep_engine_vectorized_heterogeneous(once):
         "fallback_points": fast.fallback_points,
         "cpus": float(os.cpu_count() or 1),
     }
-    BENCH_ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
-
     print()
     print(format_mapping(f"vectorized heterogeneous sweep, {len(grid)} points", record))
+    append_and_compare("sweep", record, key="speedup")
 
     # The acceptance bar: the batched path must beat scalar by >= 3x.
     assert speedup >= 3.0, f"vectorized speedup {speedup:.2f}x below the 3x bar"
+
+
+#: The event-driven grids the kernel must beat the oracle on, with the
+#: scalar mode each one pins against (shrunk from the figure defaults so the
+#: oracle side stays a few seconds per grid).
+KERNEL_GRIDS = (
+    ("policy-compare", "event-driven"),
+    ("arrival-sweep", "open-system"),
+)
+KERNEL_NUM_JOBS = 120
+
+#: The PR's acceptance bar for the array kernel.
+KERNEL_SPEEDUP_GATE = 5.0
+
+
+def _bitwise_equal(oracle_result, kernel_result) -> bool:
+    if hasattr(oracle_result, "arrival_times"):
+        return (
+            np.array_equal(oracle_result.arrival_times, kernel_result.arrival_times)
+            and np.array_equal(oracle_result.start_times, kernel_result.start_times)
+            and np.array_equal(oracle_result.end_times, kernel_result.end_times)
+            and np.array_equal(oracle_result.demands, kernel_result.demands)
+        )
+    return (
+        np.array_equal(oracle_result.job_times, kernel_result.job_times)
+        and np.array_equal(oracle_result.task_times, kernel_result.task_times)
+    )
+
+
+def test_event_kernel_vs_oracle(once):
+    """Array kernel: bitwise-identical to the oracles at >= 5x throughput."""
+
+    def race_all():
+        sections = {}
+        for grid_name, oracle_mode in KERNEL_GRIDS:
+            grid = build_grid(grid_name, num_jobs=KERNEL_NUM_JOBS)
+            start = time.perf_counter()
+            oracle = SweepRunner(jobs=1).run(grid, mode=oracle_mode)
+            oracle_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            kernel = get_backend("event-kernel").run_batch(grid)
+            kernel_seconds = time.perf_counter() - start
+            for a, b in zip(oracle, kernel):
+                assert _bitwise_equal(a, b), (
+                    f"kernel diverged from the {oracle_mode} oracle on "
+                    f"{grid_name}: {a.config!r}"
+                )
+            sections[grid_name.replace("-", "_")] = {
+                "points": len(grid),
+                "num_jobs": KERNEL_NUM_JOBS,
+                "oracle_mode": oracle_mode,
+                "oracle_seconds": oracle_seconds,
+                "kernel_seconds": kernel_seconds,
+                "speedup": oracle_seconds / kernel_seconds,
+            }
+        return sections
+
+    sections = once(race_all)
+    record = {
+        **sections,
+        "speedup": min(s["speedup"] for s in sections.values()),
+        "cpus": float(os.cpu_count() or 1),
+    }
+
+    print()
+    for name, section in sections.items():
+        print(format_mapping(f"event kernel vs oracle, {name}", section))
+    append_and_compare("kernel", record, key="speedup")
+
+    # The acceptance bar: >= 5x on every grid, not just the average.
+    for name, section in sections.items():
+        assert section["speedup"] >= KERNEL_SPEEDUP_GATE, (
+            f"kernel speedup on {name} is {section['speedup']:.2f}x, "
+            f"below the {KERNEL_SPEEDUP_GATE:.0f}x bar"
+        )

@@ -10,15 +10,56 @@ correctness is caught here.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import FigureResult, format_figure
+
+#: Where the BENCH_*.json trajectories live (override with BENCH_DIR in CI).
+BENCH_DIR = Path(os.environ.get("BENCH_DIR", "."))
 
 
 def report_figure(result: FigureResult, max_rows: int = 12) -> None:
     """Print the regenerated series of a figure (the paper's rows)."""
     print()
     print(format_figure(result, max_rows=max_rows))
+
+
+def append_and_compare(
+    name: str, record: dict, key: str = "speedup"
+) -> dict | None:
+    """Append one run's record to the ``BENCH_<name>.json`` trajectory.
+
+    The file is a JSON list, oldest entry first; the committed tail entry is
+    the baseline this run compares against (a legacy single-record file is
+    treated as a one-entry trajectory).  The comparison is *informational* —
+    printed next to the new measurement so a perf trend is visible in the
+    bench log and in the committed file's history — while the hard speedup
+    gates stay as absolute assertions in the benchmarks themselves, immune
+    to a slow CI runner having produced a slow baseline.
+
+    Returns the baseline record, or ``None`` on the first run.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    history: list[dict] = []
+    if path.exists():
+        loaded = json.loads(path.read_text())
+        history = loaded if isinstance(loaded, list) else [loaded]
+    baseline = history[-1] if history else None
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    if baseline is not None and key in baseline and key in record:
+        ratio = record[key] / baseline[key] if baseline[key] else float("inf")
+        print(
+            f"BENCH_{name}: {key} {record[key]:.2f} "
+            f"(baseline {baseline[key]:.2f}, {ratio:.2f}x of baseline)"
+        )
+    else:
+        print(f"BENCH_{name}: {key} {record.get(key, float('nan')):.2f} (no baseline)")
+    return baseline
 
 
 @pytest.fixture

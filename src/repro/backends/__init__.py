@@ -33,6 +33,19 @@ from .event_driven import EventDrivenClusterSimulator
 from .monte_carlo import MonteCarloSampler
 from .open_system import OpenSystemResult, OpenSystemSimulator
 
+# The array-kernel backend lives with its executor in repro.kernel; importing
+# the *module* (not a name from it) registers "event-kernel" while staying
+# robust to partially initialised modules when repro.kernel is imported first
+# (its backend module imports repro.backends.base, closing a cycle that the
+# attribute-deferred __getattr__ below keeps harmless).
+from ..kernel import backend as _kernel_backend  # noqa: E402  (registration)
+
+
+def __getattr__(name: str):
+    if name == "EventKernelBackend":
+        return _kernel_backend.EventKernelBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "BackendCapabilities",
     "SimulationBackend",
@@ -41,6 +54,7 @@ __all__ = [
     "SimulationResult",
     "OpenSystemResult",
     "DiscreteTimeSimulator",
+    "EventKernelBackend",
     "MonteCarloSampler",
     "EventDrivenClusterSimulator",
     "OpenSystemSimulator",

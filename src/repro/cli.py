@@ -188,11 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="base seed from which every point's seed is derived (default 0)",
     )
     sweep_parser.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=None, metavar="N",
+        help=(
+            "run every simulated point under cProfile inside its worker "
+            "process, merge the per-worker stats and print the top N "
+            "functions by cumulative time (default N=15)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--vectorized", action="store_true",
         help=(
-            "draw the whole grid in batched numpy calls (monte-carlo only; "
-            "statistically identical to the default path but not bitwise, "
-            "so it bypasses the cache)"
+            "run the grid through the batched fast paths: monte-carlo grids "
+            "draw whole groups in vectorized numpy calls (statistically "
+            "identical but not bitwise, so sampled points bypass the "
+            "cache); event-driven/open-system grids batch on the array "
+            "event kernel (bitwise-equal to the scalar path, cache-aware)"
         ),
     )
 
@@ -299,27 +309,32 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             configs = build_grid(args.grid, **overrides)
             mode = args.mode or grid_mode(args.grid)
-            if args.vectorized and mode != "monte-carlo":
+            vectorizable = ("monte-carlo", "event-driven", "open-system", "event-kernel")
+            if args.vectorized and mode not in vectorizable:
                 raise ValueError(
-                    f"--vectorized only supports the monte-carlo backend, not {mode!r}"
+                    "--vectorized supports the "
+                    f"{', '.join(vectorizable)} backends, not {mode!r}"
                 )
             runner = SweepRunner(
                 jobs=args.jobs,
-                cache=None if args.no_cache or args.vectorized else args.cache_dir,
+                cache=None if args.no_cache else args.cache_dir,
             )
         except (KeyError, ValueError) as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        profiling = args.profile is not None
         outcome = (
-            runner.run_vectorized(configs)
+            runner.run_vectorized(configs, profile=profiling)
             if args.vectorized
-            else runner.run(configs, mode=mode)
+            else runner.run(configs, mode=mode, profile=profiling)
         )
         for result in outcome:
             print(result.summary())
         print(f"sweep {args.grid}: {outcome.summary()}")
         if runner.cache is not None:
             print(f"cache: {len(runner.cache)} entries in {runner.cache.root}")
+        if profiling:
+            sys.stdout.write(outcome.profile_report(top=args.profile))
         return 0
 
     if args.command == "lint":

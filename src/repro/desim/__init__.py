@@ -7,7 +7,7 @@ events (timeouts, resource requests, other processes), the
 resources model the "owner preempts parallel task" CPU discipline.
 """
 
-from .core import EmptySchedule, Environment, Interrupt, Process, StopSimulation
+from .core import AgendaEntry, EmptySchedule, Environment, Interrupt, Process, StopSimulation
 from .events import AllOf, AnyOf, ConditionValue, Event, Timeout
 from .monitors import IntervalMonitor, TallyMonitor, TimeWeightedMonitor
 from .resources import (
@@ -35,6 +35,7 @@ from .rng import (
 )
 
 __all__ = [
+    "AgendaEntry",
     "Environment",
     "Process",
     "Interrupt",

@@ -24,17 +24,50 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, NamedTuple, Optional
 
 from .events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Event, Timeout
 
 __all__ = [
+    "AgendaEntry",
     "Environment",
     "Process",
     "Interrupt",
     "StopSimulation",
     "EmptySchedule",
 ]
+
+
+class AgendaEntry(NamedTuple):
+    """One scheduled occurrence on the :class:`Environment` agenda heap.
+
+    This named (and slot-free, immutable) entry fixes the **event-ordering
+    contract** that every alternative executor — in particular the flattened
+    array kernel in :mod:`repro.kernel` — must reproduce exactly to stay
+    bitwise-identical with this oracle:
+
+    * entries are totally ordered by the tuple ``(when, priority, tie)``,
+      compared lexicographically;
+    * ``priority`` is :data:`~repro.desim.events.URGENT` (0) for process
+      initialisation, interrupts and ``run(until=<time>)`` horizon stops, and
+      :data:`~repro.desim.events.NORMAL` (1) for everything else, so urgent
+      events at a timestamp pop before normal events at the same timestamp;
+    * ``tie`` comes from a single monotone :func:`itertools.count` and makes
+      equal ``(when, priority)`` entries FIFO in *scheduling* order.  Every
+      ``_enqueue`` consumes one tick — including events whose callbacks never
+      run (e.g. :class:`~repro.desim.resources.Release` completions) — so a
+      mirroring kernel must advance its counter even for events it elides.
+
+    ``AgendaEntry`` is a :class:`typing.NamedTuple` rather than a
+    ``__slots__`` class because heap ordering then reuses the C tuple
+    comparison; a Python-level ``__lt__`` measured ~2x slower per
+    push/pop on this agenda.
+    """
+
+    when: float
+    priority: int
+    tie: int
+    event: Event
 
 
 class StopSimulation(Exception):
@@ -171,7 +204,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[AgendaEntry] = []
         self._counter = count()
         self._active_process: Optional[Process] = None
 
@@ -188,7 +221,8 @@ class Environment:
 
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
+            self._queue,
+            AgendaEntry(self._now + delay, priority, next(self._counter), event),
         )
 
     def peek(self) -> float:

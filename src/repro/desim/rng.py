@@ -17,6 +17,24 @@ distributions used by the cluster simulator:
 
 All variates share a tiny ``sample(rng)`` protocol so the simulator can be
 parameterised with any of them.
+
+Pre-draw hooks
+--------------
+Each built-in variate additionally exposes
+
+* ``draws_rng`` — ``False`` when :meth:`sample` never touches the generator
+  (deterministic and sequence variates), and
+* ``sample_batch(rng, size)`` — ``size`` samples **bitwise-identical** to
+  ``size`` sequential :meth:`sample` calls on the same generator state.
+
+Together these let the array kernel (:mod:`repro.kernel`) pre-draw a
+component's variates in bulk without perturbing any stream: batching is only
+sound when no *other* draw interleaves on the same stream, which the caller
+can prove exactly when the interleaved variate has ``draws_rng == False``.
+Single-distribution variates batch through the vectorised numpy call (numpy
+guarantees ``rng.dist(size=n)`` consumes the bit stream exactly like ``n``
+scalar calls); the two-phase hyper-exponential interleaves two distributions
+per sample, so its ``sample_batch`` falls back to a scalar loop.
 """
 
 from __future__ import annotations
@@ -58,6 +76,8 @@ class DeterministicVariate:
 
     value: float
 
+    draws_rng = False
+
     def __post_init__(self) -> None:
         if self.value < 0:
             raise ValueError(f"value must be >= 0, got {self.value!r}")
@@ -73,12 +93,17 @@ class DeterministicVariate:
     def sample(self, rng: np.random.Generator) -> float:
         return float(self.value)
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, float(self.value))
+
 
 @dataclass(frozen=True)
 class GeometricVariate:
     """Discrete geometric variate with success probability ``prob`` (support >= 1)."""
 
     prob: float
+
+    draws_rng = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.prob <= 1.0:
@@ -95,12 +120,18 @@ class GeometricVariate:
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.geometric(self.prob))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # int64 -> float64 is exact for every plausible geometric magnitude.
+        return rng.geometric(self.prob, size=size).astype(np.float64)
+
 
 @dataclass(frozen=True)
 class ExponentialVariate:
     """Exponential variate with the given ``mean`` (squared CV = 1)."""
 
     mean_value: float
+
+    draws_rng = True
 
     def __post_init__(self) -> None:
         if self.mean_value <= 0:
@@ -116,6 +147,9 @@ class ExponentialVariate:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self.mean_value))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size=size)
 
 
 @dataclass(frozen=True)
@@ -156,10 +190,17 @@ class HyperExponentialVariate:
         """Squared coefficient of variation (1 would be exponential)."""
         return self.variance / self.mean**2
 
+    draws_rng = True
+
     def sample(self, rng: np.random.Generator) -> float:
         if rng.random() < self.prob_fast:
             return float(rng.exponential(self.mean_fast))
         return float(rng.exponential(self.mean_slow))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # Two interleaved distributions per sample: a vectorised draw would
+        # reorder the bit stream, so batch by looping the scalar path.
+        return np.array([self.sample(rng) for _ in range(size)])
 
     @classmethod
     def from_mean_and_cv(cls, mean: float, squared_cv: float) -> "HyperExponentialVariate":
@@ -202,8 +243,13 @@ class UniformVariate:
     def variance(self) -> float:
         return (self.high - self.low) ** 2 / 12.0
 
+    draws_rng = True
+
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size)
 
 
 @dataclass(frozen=True)
@@ -227,8 +273,13 @@ class ErlangVariate:
     def variance(self) -> float:
         return self.mean_value**2 / self.k
 
+    draws_rng = True
+
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.gamma(self.k, self.mean_value / self.k))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.gamma(self.k, self.mean_value / self.k, size=size)
 
 
 @dataclass
@@ -265,6 +316,8 @@ class SequenceVariate:
     def variance(self) -> float:
         return float(np.var(self.values))
 
+    draws_rng = False
+
     def sample(self, rng: np.random.Generator) -> float:
         if self._cursor < len(self.prefix):
             value = self.prefix[self._cursor]
@@ -274,6 +327,10 @@ class SequenceVariate:
             ]
         self._cursor += 1
         return value
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # Stateful cursor: batching is just the scalar path, repeated.
+        return np.array([self.sample(rng) for _ in range(size)])
 
 
 def make_variate(kind: str, mean: float, **kwargs) -> Variate:

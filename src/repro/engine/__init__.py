@@ -16,7 +16,13 @@ results regardless of worker count because every point owns its seed.
 
 from .cache import CACHE_VERSION, SCHEMA_HISTORY, ResultCache, config_fingerprint
 from .grids import GRID_NAMES, build_grid, grid_from_product, grid_mode, saturation_rate
-from .runner import SweepOutcome, SweepRunner, parallel_map, resolve_jobs
+from .runner import (
+    SweepOutcome,
+    SweepRunner,
+    merge_profile_stats,
+    parallel_map,
+    resolve_jobs,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -30,6 +36,7 @@ __all__ = [
     "grid_mode",
     "SweepOutcome",
     "SweepRunner",
+    "merge_profile_stats",
     "parallel_map",
     "resolve_jobs",
 ]

@@ -79,10 +79,33 @@ SCHEMA_HISTORY: tuple[tuple[int, str], ...] = (
         "collide) and moved the NPZ layouts behind the per-backend "
         "serialize/deserialize hooks",
     ),
+    (
+        6,
+        "canonicalized the executor-equivalent modes: 'event-kernel' "
+        "fingerprints as the oracle mode it replaces ('event-driven' for "
+        "closed scenarios, 'open-system' for open ones), because the kernel "
+        "is pinned bitwise to those back-ends and shares their NPZ layouts — "
+        "a sweep cached under either executor replays on the other instead "
+        "of resimulating",
+    ),
 )
 
 #: Current fingerprint schema version — always the last history entry.
 CACHE_VERSION = SCHEMA_HISTORY[-1][0]
+
+
+def _canonical_mode(config: SimulationConfig, mode: str) -> str:
+    """Collapse executor-equivalent modes to one fingerprint identity.
+
+    The ``event-kernel`` backend is pinned bitwise to the generator-based
+    oracles and stores their exact NPZ layouts, so its points share digests
+    with the oracle mode they replace; every other mode is its own identity.
+    """
+    if str(mode) == "event-kernel":
+        return (
+            "open-system" if config.effective_scenario.is_open else "event-driven"
+        )
+    return str(mode)
 
 
 def config_fingerprint(config: SimulationConfig, mode: str) -> str:
@@ -92,12 +115,13 @@ def config_fingerprint(config: SimulationConfig, mode: str) -> str:
     serialized via ``repr`` round-tripping JSON so equal configs always map to
     the same key.  The per-station scenario enters through its *effective*
     form, so a homogeneous ``ScenarioSpec`` and the equivalent legacy config
-    share one cache entry.
+    share one cache entry.  Bitwise-equivalent executors share one entry too:
+    the mode enters through :func:`_canonical_mode`.
     """
     scenario = config.effective_scenario
     payload = {
         "schema": CACHE_VERSION,
-        "mode": str(mode),
+        "mode": _canonical_mode(config, mode),
         "workstations": int(config.workstations),
         "task_demand": float(config.task_demand),
         "num_jobs": int(config.num_jobs),

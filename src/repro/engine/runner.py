@@ -17,7 +17,10 @@ whether a sweep runs serially, across processes, or partially from cache.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import os
+import pstats
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -31,12 +34,19 @@ from ..backends import (
     get_backend,
 )
 from ..core.params import STATIC_POLICY
+from ..kernel.backend import kernel_blocker
 
 #: Either flavour of completed simulation point (closed or open system).
 PointResult = SimulationResult | OpenSystemResult
 from .cache import ResultCache
 
-__all__ = ["SweepOutcome", "SweepRunner", "parallel_map", "resolve_jobs"]
+__all__ = [
+    "SweepOutcome",
+    "SweepRunner",
+    "merge_profile_stats",
+    "parallel_map",
+    "resolve_jobs",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -62,6 +72,59 @@ def _simulate_point(item: tuple[SimulationConfig, str]) -> PointResult:
     """
     config, mode = item
     return get_backend(mode)(config).run()
+
+
+def _profiled_simulate_point(
+    item: tuple[SimulationConfig, str]
+) -> tuple[PointResult, dict]:
+    """Worker entry point wrapping :func:`_simulate_point` in ``cProfile``.
+
+    Returns the result *plus* the profiler's raw ``stats`` dict — plain
+    tuples and numbers, so it pickles back across the process pool where the
+    live :class:`cProfile.Profile` object would not.  The parent merges the
+    per-worker dicts via :func:`merge_profile_stats`.
+
+    Caveat on the merged output: points whose policy throws interrupts into
+    suspended generators (``gen.throw`` unwinds frames the C profiler then
+    pops past) lose their synthetic top-of-stack rows — ``_simulate_point``
+    under-counts relative to ``simulated``.  The hot-path rows themselves
+    (desim stepping, resource churn) keep correct counts and cumulative
+    times, which is what the report is for.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(_simulate_point, item)
+    profiler.create_stats()
+    return result, profiler.stats
+
+
+class _ProfileCarrier:
+    """The minimal duck type :class:`pstats.Stats` accepts as a source.
+
+    ``pstats.Stats`` loads from any object exposing a raw ``stats`` dict and
+    a ``create_stats()`` hook; this carrier re-wraps a dict that crossed a
+    process boundary (the real profiler object is not picklable).
+    """
+
+    def __init__(self, stats: dict) -> None:
+        self.stats = stats
+
+    def create_stats(self) -> None:
+        pass
+
+
+def merge_profile_stats(stats_dicts: Iterable[dict]) -> pstats.Stats | None:
+    """Fold per-worker ``cProfile`` stats dicts into one :class:`pstats.Stats`.
+
+    Returns ``None`` when nothing was profiled (e.g. every point replayed
+    from the cache).
+    """
+    carriers = [_ProfileCarrier(stats) for stats in stats_dicts if stats]
+    if not carriers:
+        return None
+    merged = pstats.Stats(carriers[0])
+    for carrier in carriers[1:]:
+        merged.add(carrier)
+    return merged
 
 
 def parallel_map(
@@ -95,11 +158,14 @@ class SweepOutcome:
 
     The vectorized path additionally reports its batching diagnostics:
     ``vectorized_groups`` counts the shared-shape groups drawn in single
-    batched passes, ``fallback_points`` counts configs that could not be
-    batched and ran through a scalar backend instead, and
-    ``fallback_reasons`` maps each reason to how many points it affected —
-    so a sweep that silently degraded to the slow path is visible in
-    :meth:`summary` rather than only in its wall time.
+    batched passes, ``kernel_points`` counts configs the Monte-Carlo sampler
+    could not express but the array event kernel batched instead (one shared
+    kernel instance, bitwise-equal to the scalar oracle), ``fallback_points``
+    counts configs that could not be batched by *either* fast path and ran
+    through a scalar backend, and ``fallback_reasons`` maps each fallback
+    reason to how many points it affected — so a sweep that silently
+    degraded to the slow path is visible in :meth:`summary` rather than only
+    in its wall time.
     """
 
     results: list[PointResult]
@@ -109,8 +175,10 @@ class SweepOutcome:
     cache_hits: int = 0
     elapsed_seconds: float = 0.0
     vectorized_groups: int = 0
+    kernel_points: int = 0
     fallback_points: int = 0
     fallback_reasons: dict[str, int] = field(default_factory=dict)
+    profile: pstats.Stats | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -128,8 +196,10 @@ class SweepOutcome:
             f"{self.cache_hits} cached) mode={self.mode} jobs={self.jobs} "
             f"in {self.elapsed_seconds:.2f}s"
         )
-        if self.vectorized_groups or self.fallback_points:
+        if self.vectorized_groups or self.kernel_points or self.fallback_points:
             line += f", {self.vectorized_groups} vectorized groups"
+            if self.kernel_points:
+                line += f", {self.kernel_points} kernel-batched"
             if self.fallback_points:
                 reasons = "; ".join(
                     f"{reason}: {count}"
@@ -138,9 +208,26 @@ class SweepOutcome:
                 line += f", {self.fallback_points} scalar fallbacks ({reasons})"
         return line
 
+    def profile_report(self, top: int = 15) -> str:
+        """Top-``top`` cumulative-time profile lines merged across workers.
+
+        Only populated when the sweep ran with ``profile=True``; returns a
+        one-line note otherwise (every point may also have replayed from the
+        cache, in which case nothing executed and nothing was profiled).
+        """
+        if self.profile is None:
+            return "no profile collected (profiling off or no point simulated)\n"
+        stream = io.StringIO()
+        self.profile.stream = stream
+        self.profile.sort_stats("cumulative").print_stats(top)
+        return stream.getvalue()
+
 
 #: The backend whose ``run_batch`` the vectorized path draws through.
 _BATCH_MODE = "monte-carlo"
+
+#: The batched event executor picking up what the sampler cannot express.
+_KERNEL_MODE = "event-kernel"
 
 
 def _config_requirements(config: SimulationConfig) -> dict[str, bool]:
@@ -247,8 +334,16 @@ class SweepRunner:
         self,
         configs: Sequence[SimulationConfig],
         mode: str | None = None,
+        profile: bool = False,
     ) -> SweepOutcome:
-        """Execute every point of the grid; results keep the input order."""
+        """Execute every point of the grid; results keep the input order.
+
+        With ``profile=True`` every simulated point runs under ``cProfile``
+        *inside its worker process*; the per-worker stats pickle back as raw
+        dicts and merge into :attr:`SweepOutcome.profile` (render it with
+        :meth:`SweepOutcome.profile_report`).  Cached points execute nothing
+        and therefore contribute nothing to the profile.
+        """
         mode = mode or self.mode
         get_backend(mode)  # fail fast on an unregistered mode
         configs = list(configs)
@@ -268,11 +363,16 @@ class SweepRunner:
         else:
             pending = list(enumerate(configs))
 
+        worker = _profiled_simulate_point if profile else _simulate_point
         fresh = parallel_map(
-            _simulate_point,
+            worker,
             [(config, mode) for _, config in pending],
             jobs=self.jobs,
         )
+        profiles: list[dict] = []
+        if profile:
+            profiles = [stats for _, stats in fresh]
+            fresh = [result for result, _ in fresh]
         for (index, config), result in zip(pending, fresh):
             results[index] = result
             if self.cache is not None:
@@ -285,6 +385,7 @@ class SweepRunner:
             simulated=len(pending),
             cache_hits=cache_hits,
             elapsed_seconds=time.perf_counter() - started,
+            profile=merge_profile_stats(profiles),
         )
 
     def run_experiment(self, name: str, **overrides: Any) -> SweepOutcome:
@@ -298,7 +399,9 @@ class SweepRunner:
         return self.run(build_grid(name, **overrides), mode=grid_mode(name))
 
     def run_vectorized(
-        self, configs: Sequence[SimulationConfig]
+        self,
+        configs: Sequence[SimulationConfig],
+        profile: bool = False,
     ) -> SweepOutcome:
         """Fast path drawing whole sweeps in batched vectorised passes.
 
@@ -308,44 +411,62 @@ class SweepRunner:
         per concentration family of a heterogeneous sweep) and each group is
         handed to the batched backend's ``run_batch``, which samples the
         whole group's job times directly from their exact distributions.
-        Configs the batch path cannot express (open-system scenarios,
-        non-static policies, trace owners, fractional demands) fall back to a
+
+        Configs the sampler cannot express route through the next fast path:
+        the array event kernel batches every event-driven point it has
+        transition tables for (non-static policies, open-system streams,
+        trace owners, fractional demands) on one shared kernel instance —
+        bitwise-equal to the scalar oracle, so these points also replay from
+        and store into the cache.  Only configs *neither* fast path can take
+        (space-shared admission, unregistered policies) fall back to a
         scalar run on a capable backend, and the fallback is *recorded*:
         :attr:`SweepOutcome.vectorized_groups`,
+        :attr:`SweepOutcome.kernel_points`,
         :attr:`SweepOutcome.fallback_points` and
         :attr:`SweepOutcome.fallback_reasons` surface exactly what degraded
         and why instead of silently running slow.
 
-        Statistically identical to :meth:`run` but not bitwise (each group
-        shares one stream), so the *batched* points bypass the cache.
-        Scalar fallbacks are different: they run the exact bitwise path
-        :meth:`run` would, so when the runner has a cache they replay from
-        and store into it, and they fan out over the runner's worker pool
-        (they are exactly the expensive points); the batched groups draw
-        in-process, where they are already orders of magnitude faster.
+        Statistically identical to :meth:`run` but not bitwise on the
+        *sampled* groups (each group shares one stream), so those points
+        bypass the cache.  Kernel-batched points and scalar fallbacks run
+        the exact bitwise path :meth:`run` would, so when the runner has a
+        cache they replay from and store into it; scalar fallbacks
+        additionally fan out over the runner's worker pool (they are exactly
+        the expensive points), while kernel batches run in-process where the
+        shared-instance batching already amortises the setup.
+
+        With ``profile=True`` the scalar fallbacks profile inside their
+        worker processes and the in-process batch passes (kernel and
+        sampler) profile in the parent; everything merges into
+        :attr:`SweepOutcome.profile`.
         """
         configs = list(configs)
         started = time.perf_counter()
         results: list[PointResult | None] = [None] * len(configs)
         groups: dict[tuple, list[int]] = {}
+        kernel_batch: list[tuple[int, SimulationConfig]] = []
         fallbacks: list[tuple[int, SimulationConfig, str]] = []
         fallback_reasons: dict[str, int] = {}
         for index, config in enumerate(configs):
-            blocker = _batch_blocker(config)
-            if blocker is not None:
-                fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
-                fallbacks.append((index, config, _fallback_mode(config)))
+            if _batch_blocker(config) is None:
+                key = (
+                    config.workstations,
+                    float(config.task_demand),
+                    config.num_jobs,
+                    config.num_batches,
+                    float(config.confidence),
+                )
+                groups.setdefault(key, []).append(index)
                 continue
-            key = (
-                config.workstations,
-                float(config.task_demand),
-                config.num_jobs,
-                config.num_batches,
-                float(config.confidence),
-            )
-            groups.setdefault(key, []).append(index)
+            blocker = kernel_blocker(config)
+            if blocker is None:
+                kernel_batch.append((index, config))
+                continue
+            fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
+            fallbacks.append((index, config, _fallback_mode(config)))
         cache_hits = 0
         pending = fallbacks
+        kernel_pending = kernel_batch
         if self.cache is not None:
             pending = []
             for index, config, fallback_mode in fallbacks:
@@ -355,28 +476,62 @@ class SweepRunner:
                 else:
                     results[index] = cached
                     cache_hits += 1
+            kernel_pending = []
+            for index, config in kernel_batch:
+                cached = self.cache.load(config, _KERNEL_MODE)
+                if cached is None:
+                    kernel_pending.append((index, config))
+                else:
+                    results[index] = cached
+                    cache_hits += 1
+        worker = _profiled_simulate_point if profile else _simulate_point
         fallen_back = parallel_map(
-            _simulate_point,
+            worker,
             [(config, mode) for _, config, mode in pending],
             jobs=self.jobs,
         )
+        profiles: list[dict] = []
+        if profile:
+            profiles = [stats for _, stats in fallen_back]
+            fallen_back = [result for result, _ in fallen_back]
         for (index, config, fallback_mode), result in zip(pending, fallen_back):
             results[index] = result
             if self.cache is not None:
                 self.cache.store(config, fallback_mode, result)
+        batch_profiler = cProfile.Profile() if profile else None
+        if kernel_pending:
+            backend = get_backend(_KERNEL_MODE)
+            kernel_configs = [config for _, config in kernel_pending]
+            if batch_profiler is not None:
+                batch = batch_profiler.runcall(backend.run_batch, kernel_configs)
+            else:
+                batch = backend.run_batch(kernel_configs)
+            for (index, config), result in zip(kernel_pending, batch):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.store(config, _KERNEL_MODE, result)
         for indices in groups.values():
             backend = get_backend(_BATCH_MODE)
-            batch = backend.run_batch([configs[i] for i in indices])
+            group_configs = [configs[i] for i in indices]
+            if batch_profiler is not None:
+                batch = batch_profiler.runcall(backend.run_batch, group_configs)
+            else:
+                batch = backend.run_batch(group_configs)
             for index, result in zip(indices, batch):
                 results[index] = result
+        if batch_profiler is not None and (kernel_pending or groups):
+            batch_profiler.create_stats()
+            profiles.append(batch_profiler.stats)
         return SweepOutcome(
             results=[r for r in results if r is not None],
-            mode="monte-carlo" if not fallbacks else "mixed",
+            mode="monte-carlo" if not (fallbacks or kernel_batch) else "mixed",
             jobs=self.jobs,
             simulated=len(configs) - cache_hits,
             cache_hits=cache_hits,
             elapsed_seconds=time.perf_counter() - started,
             vectorized_groups=len(groups),
+            kernel_points=len(kernel_batch),
             fallback_points=len(fallbacks),
             fallback_reasons=fallback_reasons,
+            profile=merge_profile_stats(profiles),
         )

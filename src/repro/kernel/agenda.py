@@ -1,0 +1,106 @@
+"""Flat event agenda for the array kernel.
+
+The agenda reproduces the ordering contract fixed by
+:class:`repro.desim.AgendaEntry`: entries are totally ordered by
+``(when, priority, tie)`` compared lexicographically, with
+``URGENT (0) < NORMAL (1)`` and a single monotone tie counter that makes
+equal ``(when, priority)`` entries FIFO in scheduling order.
+
+Two departures from the oracle's agenda, neither observable in results:
+
+* Entries are plain tuples ``(when, priority, tie, kind, payload, serial)``
+  on a :mod:`heapq` heap instead of Python event objects — the payload slots
+  carry small ints / kernel state records rather than generator-bearing
+  events, and the tie counter guarantees comparisons never reach them.
+* Events whose callbacks can never run (the oracle's
+  :class:`~repro.desim.resources.Release` completions, and process
+  terminations nobody waits on) are *elided*: :meth:`tick` advances the tie
+  counter without pushing, keeping every subsequent tie value — and hence the
+  full pop order — aligned with the oracle's counter while skipping the
+  guaranteed no-op pops.
+
+:meth:`snapshot` exposes the pending entries as a numpy record array (sorted
+in pop order) for tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+import numpy as np
+
+__all__ = ["URGENT", "NORMAL", "EventAgenda"]
+
+#: Priorities, numerically identical to :mod:`repro.desim.events`.
+URGENT = 0
+NORMAL = 1
+
+#: Structured dtype of :meth:`EventAgenda.snapshot`.
+_SNAPSHOT_DTYPE = np.dtype(
+    [
+        ("when", np.float64),
+        ("priority", np.int64),
+        ("tie", np.int64),
+        ("kind", np.int64),
+    ]
+)
+
+
+class EventAgenda:
+    """Heap of ``(when, priority, tie, kind, payload, serial)`` entries."""
+
+    __slots__ = ("_heap", "_tie")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        self._tie = 0
+
+    def reset(self) -> None:
+        """Drop all pending entries and restart the tie counter."""
+        self._heap.clear()
+        self._tie = 0
+
+    def push(
+        self, when: float, priority: int, kind: int, payload: Any = None, serial: int = 0
+    ) -> None:
+        """Schedule one occurrence (consumes one tie tick)."""
+        tie = self._tie
+        self._tie = tie + 1
+        heapq.heappush(self._heap, (when, priority, tie, kind, payload, serial))
+
+    def tick(self) -> None:
+        """Consume one tie tick without scheduling anything.
+
+        Mirrors oracle enqueues whose callbacks are guaranteed no-ops (Release
+        completions, unobserved process terminations) so the counter — and the
+        FIFO order of everything scheduled afterwards — stays aligned.
+        """
+        self._tie += 1
+
+    def pop(self) -> tuple:
+        """Remove and return the next entry in ``(when, priority, tie)`` order."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> float:
+        """Time of the next entry (``inf`` when empty), like ``Environment.peek``."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def tie(self) -> int:
+        """Next tie value to be assigned (monotone, never reset mid-run)."""
+        return self._tie
+
+    def snapshot(self) -> np.ndarray:
+        """Pending entries as a record array, sorted in pop order."""
+        entries = sorted(self._heap)
+        out = np.empty(len(entries), dtype=_SNAPSHOT_DTYPE)
+        for i, (when, priority, tie, kind, _payload, _serial) in enumerate(entries):
+            out[i] = (when, priority, tie, kind)
+        return out

@@ -1,0 +1,716 @@
+"""Flattened state-machine executor for the event-driven cluster model.
+
+:class:`EventKernel` re-implements the two process-oriented back-ends —
+``event-driven`` (closed) and ``open-system`` (classless job stream) — as one
+flat event loop over the :mod:`repro.kernel.agenda` heap.  The oracle models
+owners, tasks, jobs and sources as Python generator coroutines parked on
+:mod:`repro.desim` events; the kernel replaces every coroutine with a small
+transition table keyed by an integer event kind, and every event object with
+a plain heap tuple.  Nothing else changes: the kernel performs the *same*
+floating-point operations in the *same* order on the *same* RNG streams, so
+its results are bitwise-identical to the oracle's (pinned by
+``tests/test_kernel.py``).
+
+Equivalence contract (how each oracle construct maps):
+
+================================  =========================================
+oracle (generators + desim)       kernel (flat loop)
+================================  =========================================
+``Process`` init event            ``*_INIT`` / ``*_WAKE`` urgent push
+``Timeout``                       push at ``now + delay``, NORMAL
+``PreemptiveResource`` grant      ``TASK_GRANT`` / ``OWNER_GRANT`` push
+owner preempting the task holder  ``TASK_INTERRUPT`` urgent push, then the
+                                  owner's grant push (the oracle enqueues
+                                  the interrupt in ``_maybe_preempt`` before
+                                  ``_dispatch`` succeeds the owner request)
+``Release`` completion event      :meth:`EventAgenda.tick` (guaranteed
+                                  no-op pop, elided; see ``agenda.py``)
+process termination, unobserved   ``tick()`` likewise
+process termination, awaited      ``TASK_EXIT`` / ``JOB_EXIT`` push
+``AllOf`` over a job's tasks      ``pending`` countdown -> ``JOB_ALLOF``
+================================  =========================================
+
+Stale-event handling replaces the oracle's callback detachment: every task
+carries a monotonically increasing ``serial``; ``TASK_GRANT``/``TASK_DONE``
+entries embed the serial they were pushed with and are skipped on pop if the
+task has since been interrupted or re-granted (lazy deletion — the oracle
+pops the same stale events as no-ops after ``Process._resume`` detaches).
+
+Two accounting shortcuts, both output-preserving: per-task preemption /
+migration counters are not tracked (no backend result exposes them), and the
+owner-busy time-weighted monitor is folded into a running ``area`` per
+station (the monitor's ``0.0``-valued updates add exactly ``0.0``).
+
+Owner think-time pre-draw: when a station's think variate draws from the RNG
+(``draws_rng``) and its demand variate does not, the think stream is the only
+consumer of that station's generator, so the kernel pre-draws think times in
+blocks via ``Variate.sample_batch`` — bitwise-identical to sequential scalar
+draws (see ``repro.desim.rng``) but amortising the numpy call overhead.
+Stations whose demand also draws (or trace replays) fall back to scalar
+sampling in the exact interleaved order.
+
+This module deliberately imports no :mod:`repro.desim` generator machinery
+(enforced by simlint rule SL006) and nothing from :mod:`repro.backends`
+(avoids an import cycle; the backend adapter lives in
+:mod:`repro.kernel.backend`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ..cluster.job import balanced_tasks, imbalanced_tasks
+from ..cluster.owner import OwnerBehavior
+from ..cluster.policies import (
+    MigrateOnOwnerArrival,
+    SchedulingPolicy,
+    SelfScheduling,
+    StaticPartition,
+    make_policy,
+)
+from ..core.params import ScenarioSpec, StationSpec
+from ..desim.rng import StreamRegistry, make_variate
+from .agenda import NORMAL, URGENT
+
+__all__ = ["EventKernel", "KERNEL_POLICIES"]
+
+#: Scheduling policies the kernel has transition tables for.
+KERNEL_POLICIES: tuple[str, ...] = (
+    StaticPartition.name,
+    SelfScheduling.name,
+    MigrateOnOwnerArrival.name,
+)
+
+# Event kinds.  One integer per distinct continuation in the oracle's
+# generators; frequency-ordered comments refer to the dispatch chain below.
+_OWNER_INIT = 0
+_OWNER_WAKE = 1
+_OWNER_GRANT = 2
+_OWNER_DONE = 3
+_TASK_INIT = 4
+_TASK_GRANT = 5
+_TASK_DONE = 6
+_TASK_INTERRUPT = 7
+_TASK_EXIT = 8
+_JOB_INIT = 9
+_JOB_ALLOF = 10
+_JOB_EXIT = 11
+_DRIVER_EXIT = 12
+_SOURCE_INIT = 13
+_SOURCE_WAKE = 14
+_SOURCE_EXIT = 15
+_ADMIT_GRANT = 16
+
+# Scheduling-policy transition tables (per-task continuation flavours).
+_ROLE_STATIC = 0  # StaticPartition: one task per station, resume in place
+_ROLE_WORKER = 1  # SelfScheduling: stations pull equal chunks off one queue
+_ROLE_ITEM = 2  # MigrateOnOwnerArrival: remainder migrates on preemption
+
+#: CPU-holder sentinel for "the owner" (tasks are held as their own records).
+_OWNER_HOLDER = object()
+
+_INF = float("inf")
+
+#: Think-times pre-drawn per refill of an owner's buffer.
+_THINK_BLOCK = 256
+
+
+class _Task:
+    """Flattened state of one task / worker / migration-item process."""
+
+    __slots__ = (
+        "job",
+        "station",
+        "remaining",
+        "serial",
+        "started",
+        "rec_start",
+        "first_start",
+        "end",
+        "frag_count",
+    )
+
+    def __init__(self, job: "_Job", station: int) -> None:
+        self.job = job
+        self.station = station
+        self.remaining = 0.0
+        #: Lazy-deletion stamp; bumped on every grant push / interrupt.
+        self.serial = 0
+        #: Service start of the current CPU grant (None while waiting).
+        self.started: float | None = None
+        #: Start of the current execution record (task / chunk / step).
+        self.rec_start = 0.0
+        #: Start of the first record (self-scheduling / migration aggregate).
+        self.first_start: float | None = None
+        self.end = 0.0
+        #: Completed chunks (self-scheduling; 0 means "no fragments ran").
+        self.frag_count = 0
+
+
+class _Job:
+    """Flattened state of one job (closed driver slot or open arrival)."""
+
+    __slots__ = ("index", "start", "demand", "pending", "tasks", "active", "chunk", "chunks_left")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.start = 0.0
+        self.demand = 0.0  # open mode: the drawn total demand
+        self.pending = 0  # tasks still running (the oracle's AllOf count)
+        self.tasks: list[_Task] = []
+        self.active: list[int] = []  # migrate policy's per-station item count
+        self.chunk = 0.0  # self-scheduling chunk size
+        self.chunks_left = 0  # self-scheduling chunks not yet pulled
+
+
+def _station_behavior(spec: StationSpec) -> OwnerBehavior:
+    """Owner behaviour of one station (mirrors the event-driven backend)."""
+    if spec.demand_kind == "trace":
+        assert spec.trace is not None  # StationSpec validation guarantees it
+        return OwnerBehavior.from_trace(spec.trace)
+    return OwnerBehavior.from_spec(
+        spec.owner, spec.demand_kind, **dict(spec.demand_kwargs)
+    )
+
+
+def _policy_role(policy: SchedulingPolicy) -> tuple[int, int]:
+    """Map a policy instance to its kernel transition table (+ chunk count)."""
+    if isinstance(policy, StaticPartition):
+        return _ROLE_STATIC, 0
+    if isinstance(policy, SelfScheduling):
+        return _ROLE_WORKER, policy.chunks_per_station
+    if isinstance(policy, MigrateOnOwnerArrival):
+        return _ROLE_ITEM, 0
+    raise ValueError(
+        f"the event kernel has no transition table for policy "
+        f"{policy.name!r}; supported policies: {list(KERNEL_POLICIES)}"
+    )
+
+
+class EventKernel:
+    """Array-based executor shared across the runs of one sweep batch.
+
+    The instance owns the reusable agenda heap; all per-run state lives in
+    locals of :meth:`run_closed` / :meth:`run_open`, so one kernel can be
+    shared across grid points (cross-point batching) with every point still
+    drawing from its own freshly seeded :class:`StreamRegistry` — results
+    are independent of batch composition.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+
+    # -- public entry points -------------------------------------------------
+    def run_closed(
+        self, config, streams: StreamRegistry | None = None
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Closed system: ``num_jobs`` back-to-back jobs on one cluster.
+
+        Returns ``(job_times, task_times, measured_owner_utilization)``,
+        bitwise-equal to the corresponding fields of the ``event-driven``
+        backend's :class:`SimulationResult`.
+        """
+        return self._run(config, streams, open_mode=False)
+
+    def run_open(
+        self, config, streams: StreamRegistry | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+        """Open system: a classless stream of ``num_jobs`` arrivals.
+
+        Returns ``(arrival_times, start_times, end_times, demands,
+        measured_owner_utilization)``, bitwise-equal to the corresponding
+        fields of the ``open-system`` backend's :class:`OpenSystemResult`.
+        """
+        return self._run(config, streams, open_mode=True)
+
+    # -- the flat event loop -------------------------------------------------
+    def _run(self, config, streams, open_mode: bool):
+        cfg = config
+        scenario: ScenarioSpec = cfg.effective_scenario
+        workstations: int = cfg.workstations
+        num_jobs: int = cfg.num_jobs
+        imbalance: float = scenario.imbalance
+        job_demand: float = cfg.job_demand
+
+        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
+        role, chunks_per_station = _policy_role(policy)
+
+        if streams is None:
+            streams = StreamRegistry(cfg.seed)
+
+        heap = self._heap
+        heap.clear()
+        tie = 0
+        now = 0.0
+
+        # Per-station owner + CPU state (parallel lists indexed by station).
+        think_v: list = [None] * workstations
+        demand_v: list = [None] * workstations
+        owner_rng: list = [None] * workstations
+        prebatch = [False] * workstations
+        think_buf: list = [()] * workstations
+        think_cur = [0] * workstations
+        owner_pending = [0.0] * workstations  # demand drawn at the last wake
+        busy = [False] * workstations
+        busy_start = [0.0] * workstations
+        area = [0.0] * workstations  # owner-busy time-weighted area
+        util = [0.0] * workstations  # static utilization (migration target order)
+        holder: list = [None] * workstations  # None | _OWNER_HOLDER | _Task
+        cpu_queue: list[deque] = [deque() for _ in range(workstations)]
+
+        # Owner processes start in station order (oracle: _build_cluster loop).
+        for w, spec in enumerate(scenario.stations):
+            behavior = _station_behavior(spec)
+            rng = streams.stream(f"owner-{w}")
+            util[w] = behavior.utilization
+            if behavior.is_idle:
+                continue  # Workstation.start_owner never launches idle owners
+            think = behavior.think_time
+            demand = behavior.demand
+            think_v[w] = think
+            demand_v[w] = demand
+            owner_rng[w] = rng
+            # Pre-drawing the think stream is sound only while nothing else
+            # draws from this station's generator — i.e. the demand variate
+            # is drawless.  Trace replays (SequenceVariate) are drawless
+            # themselves, so scalar sampling costs nothing there.
+            prebatch[w] = bool(
+                getattr(think, "draws_rng", True)
+                and hasattr(think, "sample_batch")
+                and not getattr(demand, "draws_rng", True)
+            )
+            heappush(heap, (0.0, URGENT, tie, _OWNER_INIT, w, 0))
+            tie += 1
+        placement_rng = streams.stream("placement")
+
+        def think_sample(w: int) -> float:
+            if prebatch[w]:
+                buf = think_buf[w]
+                i = think_cur[w]
+                if i >= len(buf):
+                    buf = think_v[w].sample_batch(owner_rng[w], _THINK_BLOCK).tolist()
+                    think_buf[w] = buf
+                    i = 0
+                think_cur[w] = i + 1
+                return buf[i]
+            return think_v[w].sample(owner_rng[w])
+
+        # Mode-specific setup: the closed driver / the open source+admission.
+        if open_mode:
+            spec_arrivals = scenario.arrivals
+            if spec_arrivals is None:
+                raise ValueError(
+                    "the event kernel's open mode needs a scenario with a "
+                    "job-arrival process; set ScenarioSpec.arrivals"
+                )
+            if spec_arrivals.is_space_shared:
+                raise ValueError(
+                    "the event kernel has no transition tables for "
+                    "space-shared (job-class) arrival specs"
+                )
+            arrival_rng = streams.stream("arrivals")
+            job_demand_rng = streams.stream("job-demands")
+            demand_variate = make_variate(
+                spec_arrivals.demand_kind, job_demand, **dict(spec_arrivals.demand_kwargs)
+            )
+            mean_gap = spec_arrivals.mean_interarrival
+            admit_cap = spec_arrivals.max_concurrent_jobs
+            admit_users = 0
+            admit_queue: deque[_Job] = deque()
+            source_done = False
+            jobs_done = 0
+            arrival_times = np.empty(num_jobs, dtype=np.float64)
+            start_times = np.empty(num_jobs, dtype=np.float64)
+            end_times = np.empty(num_jobs, dtype=np.float64)
+            job_demands = np.empty(num_jobs, dtype=np.float64)
+            heappush(heap, (0.0, URGENT, tie, _SOURCE_INIT, None, 0))
+            tie += 1
+        else:
+            next_job = 0
+            job_times = np.empty(num_jobs, dtype=np.float64)
+            task_times: list[float] = []
+            # The driver's init pop immediately launches job 0 (or exits for
+            # num_jobs == 0), exactly the JOB_EXIT continuation — reuse it.
+            heappush(heap, (0.0, URGENT, tie, _JOB_EXIT, None, 0))
+            tie += 1
+
+        def request_cpu(t: _Task) -> None:
+            """``cpu.request(priority=TASK_PRIORITY)``: grant if free, else FIFO."""
+            nonlocal tie
+            w = t.station
+            if holder[w] is None:
+                holder[w] = t
+                t.serial += 1
+                heappush(heap, (now, NORMAL, tie, _TASK_GRANT, t, t.serial))
+                tie += 1
+            else:
+                cpu_queue[w].append(t)
+
+        def release_cpu(w: int) -> None:
+            """``Release``: dispatch the FIFO head, then the no-op completion."""
+            nonlocal tie
+            q = cpu_queue[w]
+            if q:
+                h = q.popleft()
+                holder[w] = h
+                h.serial += 1
+                heappush(heap, (now, NORMAL, tie, _TASK_GRANT, h, h.serial))
+                tie += 1
+            else:
+                holder[w] = None
+            tie += 1  # the Release event itself (guaranteed no-op pop)
+
+        def start_job(job: _Job, total_demand: float) -> None:
+            """Launch one job's task processes (the policy's ``run_job`` head)."""
+            nonlocal tie
+            if imbalance == 0.0:
+                demands = balanced_tasks(total_demand, workstations)
+            else:
+                demands = imbalanced_tasks(
+                    total_demand, workstations, imbalance, placement_rng
+                )
+            job.pending = workstations
+            tasks = job.tasks
+            tasks.clear()
+            if role == _ROLE_WORKER:
+                total = float(np.sum(demands))
+                num_chunks = chunks_per_station * workstations
+                job.chunk = total / num_chunks
+                job.chunks_left = num_chunks
+                for w in range(workstations):
+                    t = _Task(job, w)
+                    tasks.append(t)
+                    heappush(heap, (now, URGENT, tie, _TASK_INIT, t, 0))
+                    tie += 1
+            else:
+                if role == _ROLE_ITEM:
+                    job.active = [1] * workstations
+                for w in range(workstations):
+                    t = _Task(job, w)
+                    t.remaining = float(demands[w])
+                    tasks.append(t)
+                    heappush(heap, (now, URGENT, tie, _TASK_INIT, t, 0))
+                    tie += 1
+
+        def end_attempt(t: _Task) -> None:
+            """Continuation after a CPU attempt ends (service done or dust).
+
+            Covers the policy-specific tail of the oracle's
+            ``execute_task`` / ``worker`` / ``run_item`` generators once the
+            current record's remaining work is ``<= 0`` — or, for the
+            migration policy, after *any* step (its records are per-step).
+            """
+            nonlocal tie
+            if role == _ROLE_STATIC:
+                t.end = now
+                heappush(heap, (now, NORMAL, tie, _TASK_EXIT, t, 0))
+                tie += 1
+                return
+            if role == _ROLE_WORKER:
+                job = t.job
+                if t.frag_count == 0:
+                    t.first_start = t.rec_start
+                t.frag_count += 1
+                t.end = now
+                if job.chunks_left > 0:
+                    job.chunks_left -= 1
+                    t.remaining = job.chunk
+                    t.rec_start = now
+                    request_cpu(t)
+                else:
+                    heappush(heap, (now, NORMAL, tie, _TASK_EXIT, t, 0))
+                    tie += 1
+                return
+            # _ROLE_ITEM: one execute_task_step record ended.
+            if t.first_start is None:
+                t.first_start = t.rec_start
+            if t.remaining <= 0:
+                t.end = now
+                t.job.active[t.station] -= 1
+                heappush(heap, (now, NORMAL, tie, _TASK_EXIT, t, 0))
+                tie += 1
+                return
+            # Preempted with work left: migrate to the least-utilized idle
+            # station (ties by index), else resume in place.
+            active = t.job.active
+            cur = t.station
+            best = -1
+            for i in range(workstations):
+                if i == cur or active[i] > 0:
+                    continue
+                if best < 0 or util[i] < util[best]:
+                    best = i
+            if best >= 0:
+                active[cur] -= 1
+                active[best] += 1
+                t.station = best
+            t.rec_start = now
+            request_cpu(t)
+
+        # ---- dispatch loop (branches roughly frequency-ordered) ----
+        while True:
+            entry = heappop(heap)
+            now = entry[0]
+            kind = entry[3]
+            if kind == _TASK_GRANT:
+                t = entry[4]
+                if entry[5] != t.serial:
+                    continue  # stale grant (task was interrupted meanwhile)
+                t.started = now
+                heappush(
+                    heap, (now + t.remaining, NORMAL, tie, _TASK_DONE, t, t.serial)
+                )
+                tie += 1
+            elif kind == _TASK_DONE:
+                t = entry[4]
+                if entry[5] != t.serial:
+                    continue  # stale completion (interrupted mid-service)
+                t.remaining = 0.0
+                t.started = None
+                release_cpu(t.station)
+                end_attempt(t)
+            elif kind == _OWNER_WAKE:
+                w = entry[4]
+                demand = demand_v[w].sample(owner_rng[w])
+                if demand < 0.0:
+                    demand = 0.0  # max(0.0, sample)
+                if demand == 0.0:
+                    think = think_sample(w)
+                    if think == _INF:
+                        tie += 1  # owner process returns, unobserved
+                    else:
+                        heappush(
+                            heap,
+                            (
+                                now + (think if think > 0.0 else 0.0),
+                                NORMAL,
+                                tie,
+                                _OWNER_WAKE,
+                                w,
+                                0,
+                            ),
+                        )
+                        tie += 1
+                    continue
+                owner_pending[w] = demand
+                h = holder[w]
+                if h is not None:
+                    # Preempt the task holder: the oracle enqueues the
+                    # victim's interrupt (URGENT) before dispatching the
+                    # owner's grant (NORMAL).
+                    h.serial += 1
+                    heappush(heap, (now, URGENT, tie, _TASK_INTERRUPT, h, 0))
+                    tie += 1
+                holder[w] = _OWNER_HOLDER
+                heappush(heap, (now, NORMAL, tie, _OWNER_GRANT, w, 0))
+                tie += 1
+            elif kind == _OWNER_GRANT:
+                w = entry[4]
+                busy[w] = True
+                busy_start[w] = now
+                heappush(
+                    heap, (now + owner_pending[w], NORMAL, tie, _OWNER_DONE, w, 0)
+                )
+                tie += 1
+            elif kind == _OWNER_DONE:
+                w = entry[4]
+                area[w] += now - busy_start[w]
+                busy[w] = False
+                release_cpu(w)
+                think = think_sample(w)
+                if think == _INF:
+                    tie += 1  # owner process returns, unobserved
+                else:
+                    heappush(
+                        heap,
+                        (
+                            now + (think if think > 0.0 else 0.0),
+                            NORMAL,
+                            tie,
+                            _OWNER_WAKE,
+                            w,
+                            0,
+                        ),
+                    )
+                    tie += 1
+            elif kind == _TASK_INTERRUPT:
+                t = entry[4]
+                if t.started is not None:
+                    t.remaining -= now - t.started
+                    t.started = None
+                tie += 1  # Release of the interrupted request (no-op pop)
+                if role == _ROLE_ITEM:
+                    end_attempt(t)  # per-step record: always ends here
+                elif t.remaining > 0:
+                    request_cpu(t)  # re-request behind the owner, FIFO
+                else:
+                    end_attempt(t)  # dust: float rounding finished the work
+            elif kind == _TASK_INIT:
+                t = entry[4]
+                if role == _ROLE_WORKER:
+                    job = t.job
+                    if job.chunks_left <= 0:
+                        # Chunk queue already drained: worker exits at birth.
+                        heappush(heap, (now, NORMAL, tie, _TASK_EXIT, t, 0))
+                        tie += 1
+                        continue
+                    job.chunks_left -= 1
+                    t.remaining = job.chunk
+                t.rec_start = now
+                request_cpu(t)
+            elif kind == _TASK_EXIT:
+                job = entry[4].job
+                job.pending -= 1
+                if job.pending == 0:
+                    heappush(heap, (now, NORMAL, tie, _JOB_ALLOF, job, 0))
+                    tie += 1
+            elif kind == _JOB_ALLOF:
+                job = entry[4]
+                if open_mode:
+                    end_times[job.index] = now
+                    # Admission release: hand the slot to the FIFO head.
+                    if admit_queue:
+                        nxt = admit_queue.popleft()
+                        heappush(heap, (now, NORMAL, tie, _ADMIT_GRANT, nxt, 0))
+                        tie += 1
+                    else:
+                        admit_users -= 1
+                    tie += 1  # the admission Release event (no-op pop)
+                else:
+                    end = -_INF
+                    if role == _ROLE_STATIC:
+                        for t in job.tasks:
+                            task_times.append(t.end - t.rec_start)
+                            if t.end > end:
+                                end = t.end
+                    elif role == _ROLE_WORKER:
+                        for t in job.tasks:
+                            if t.frag_count == 0:
+                                continue  # station never pulled a chunk
+                            task_times.append(t.end - t.first_start)
+                            if t.end > end:
+                                end = t.end
+                    else:
+                        for t in job.tasks:
+                            s = t.first_start
+                            task_times.append(
+                                t.end - (s if s is not None else 0.0)
+                            )
+                            if t.end > end:
+                                end = t.end
+                    job_times[job.index] = end - job.start
+                heappush(heap, (now, NORMAL, tie, _JOB_EXIT, job, 0))
+                tie += 1
+            elif kind == _JOB_EXIT:
+                if open_mode:
+                    jobs_done += 1
+                    if source_done and jobs_done >= num_jobs:
+                        break  # the drain AllOf fires: simulation over
+                else:
+                    # The closed driver's loop: next job, or the driver exits.
+                    if next_job < num_jobs:
+                        job = _Job(next_job)
+                        next_job += 1
+                        heappush(heap, (now, URGENT, tie, _JOB_INIT, job, 0))
+                        tie += 1
+                    else:
+                        heappush(heap, (now, NORMAL, tie, _DRIVER_EXIT, None, 0))
+                        tie += 1
+            elif kind == _JOB_INIT:
+                job = entry[4]
+                if open_mode:
+                    # run_one_job's admission request (plain FIFO resource).
+                    if admit_users < admit_cap:
+                        admit_users += 1
+                        heappush(heap, (now, NORMAL, tie, _ADMIT_GRANT, job, 0))
+                        tie += 1
+                    else:
+                        admit_queue.append(job)
+                else:
+                    job.start = now
+                    start_job(job, job_demand)
+            elif kind == _ADMIT_GRANT:
+                job = entry[4]
+                start_times[job.index] = now
+                job.start = now
+                start_job(job, job.demand)
+            elif kind == _SOURCE_WAKE:
+                j = entry[4]
+                demand = float(demand_variate.sample(job_demand_rng))
+                while demand <= 0.0:
+                    demand = float(demand_variate.sample(job_demand_rng))
+                arrival_times[j] = now
+                job_demands[j] = demand
+                job = _Job(j)
+                job.demand = demand
+                heappush(heap, (now, URGENT, tie, _JOB_INIT, job, 0))
+                tie += 1
+                j += 1
+                if j < num_jobs:
+                    gap = spec_arrivals.interarrival(j)
+                    if gap is None:
+                        gap = float(arrival_rng.exponential(mean_gap))
+                    heappush(heap, (now + gap, NORMAL, tie, _SOURCE_WAKE, j, 0))
+                    tie += 1
+                else:
+                    heappush(heap, (now, NORMAL, tie, _SOURCE_EXIT, None, 0))
+                    tie += 1
+            elif kind == _SOURCE_EXIT:
+                source_done = True
+                if jobs_done >= num_jobs:
+                    break  # no in-flight jobs left to drain
+            elif kind == _SOURCE_INIT:
+                if num_jobs <= 0:
+                    heappush(heap, (now, NORMAL, tie, _SOURCE_EXIT, None, 0))
+                    tie += 1
+                    continue
+                gap = spec_arrivals.interarrival(0)
+                if gap is None:
+                    gap = float(arrival_rng.exponential(mean_gap))
+                heappush(heap, (now + gap, NORMAL, tie, _SOURCE_WAKE, 0, 0))
+                tie += 1
+            elif kind == _OWNER_INIT:
+                w = entry[4]
+                think = think_sample(w)
+                if think == _INF:
+                    tie += 1  # owner process returns immediately, unobserved
+                else:
+                    heappush(
+                        heap,
+                        (
+                            now + (think if think > 0.0 else 0.0),
+                            NORMAL,
+                            tie,
+                            _OWNER_WAKE,
+                            w,
+                            0,
+                        ),
+                    )
+                    tie += 1
+            else:  # _DRIVER_EXIT
+                break
+
+        heap.clear()
+
+        # Finalize the owner-busy monitors at the stop time (oracle:
+        # measured_owner_utilization() -> finalize(env.now) / time_average).
+        measured = []
+        for w in range(workstations):
+            a = area[w]
+            if busy[w]:
+                a += now - busy_start[w]
+            measured.append(0.0 if now <= 0 else a / now)
+        measured_util = float(np.mean(measured))
+
+        if open_mode:
+            return arrival_times, start_times, end_times, job_demands, measured_util
+        return (
+            job_times,
+            np.asarray(task_times, dtype=np.float64),
+            measured_util,
+        )

@@ -10,6 +10,7 @@ SL002     fingerprint coverage: every spec field enters the cache key
 SL003     interrupt safety: process generators cannot swallow Interrupts
 SL004     registry bypass: backend dispatch only via ``get_backend``
 SL005     NPZ symmetry: serialize/deserialize cache layouts round-trip
+SL006     kernel layering: the array kernel imports only desim's rng layer
 ========  ============================================================
 
 Run it as ``repro-experiments lint <paths>`` (or

@@ -61,6 +61,12 @@ class LintConfig:
         always a bypass.
     serialize_method / deserialize_method:
         The NPZ hook names whose key sets SL005 compares.
+    kernel_packages:
+        Path fragments of the array-kernel package SL006 guards.
+    kernel_allowed_desim_modules:
+        The desim module suffixes the kernel may import — the shared RNG
+        layer that the bitwise-pinning contract requires both executors to
+        draw through; everything else in desim is generator machinery.
     """
 
     select: tuple[str, ...] = ()
@@ -98,6 +104,9 @@ class LintConfig:
     # SL005
     serialize_method: str = "serialize_result"
     deserialize_method: str = "deserialize_result"
+    # SL006
+    kernel_packages: tuple[str, ...] = ("src/repro/kernel",)
+    kernel_allowed_desim_modules: tuple[str, ...] = ("desim.rng",)
 
     def with_overrides(self, **overrides: object) -> "LintConfig":
         """Copy with the given fields replaced (unknown names rejected)."""

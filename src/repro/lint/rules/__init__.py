@@ -12,11 +12,13 @@ from .fingerprint import FingerprintCoverageRule
 from .interrupts import InterruptSafetyRule
 from .registry_bypass import RegistryBypassRule
 from .npz_symmetry import NpzSymmetryRule
+from .layering import KernelLayeringRule
 
 __all__ = [
     "DeterminismRule",
     "FingerprintCoverageRule",
     "InterruptSafetyRule",
+    "KernelLayeringRule",
     "NpzSymmetryRule",
     "RegistryBypassRule",
 ]

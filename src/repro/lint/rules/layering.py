@@ -1,0 +1,102 @@
+"""SL006 — kernel layering: the array kernel never imports desim generator
+machinery.
+
+PR 7's ``repro.kernel`` exists to *replace* the per-event generator path —
+coroutine processes parked on :class:`~repro.desim.Environment` events — with
+a flat agenda of heap tuples and integer transition tables, while staying
+bitwise-pinned to the generator oracle.  That pinning is only trustworthy as
+long as the two executors stay independent: the moment a kernel module
+reaches for ``Environment``, ``Process``, ``Resource`` or any other piece of
+the coroutine machinery, the "two independent implementations agree bit for
+bit" invariant quietly collapses into one implementation testing itself.
+
+The one sanctioned crossing is :mod:`repro.desim.rng` — the seed-derivation
+and variate layer — because bitwise equality *requires* both executors to
+draw the same random streams through the same code.  The rule therefore
+flags, inside the kernel package only:
+
+* ``import repro.desim`` / ``import repro.desim.core`` style absolute
+  imports of any desim module outside the allowed list,
+* ``from ..desim.core import ...`` / ``from repro.desim import ...``
+  relative and absolute from-imports of disallowed desim modules,
+* ``from ..desim import rng``-style imports are fine: every imported name
+  must itself be an allowed submodule.
+
+Everything is configurable via ``[tool.simlint]`` (``kernel-packages``,
+``kernel-allowed-desim-modules``) so the boundary moves with the code, not
+with the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintRule, SourceFile, register_rule
+
+__all__ = ["KernelLayeringRule"]
+
+
+@register_rule
+class KernelLayeringRule(LintRule):
+    rule_id = "SL006"
+    summary = (
+        "the array kernel imports nothing from desim but the rng layer "
+        "(no generator machinery behind the bitwise-pinning contract)"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if not any(
+            self._inside(source, pkg) for pkg in self.config.kernel_packages
+        ):
+            return
+        for node in source.nodes_of(ast.Import):
+            for alias in node.names:
+                if self._is_desim(alias.name) and not self._allowed(alias.name):
+                    yield self._flag(source, node, alias.name)
+        for node in source.nodes_of(ast.ImportFrom):
+            module = node.module or ""
+            if not self._is_desim(module):
+                continue
+            if self._allowed(module):
+                continue
+            # `from ..desim import rng` is the allowed module spelled as a
+            # from-import; it passes only if every imported name is itself an
+            # allowed submodule of desim.
+            if all(self._allowed(f"{module}.{alias.name}") for alias in node.names):
+                continue
+            yield self._flag(source, node, module)
+
+    def _flag(self, source: SourceFile, node: ast.AST, module: str) -> Finding:
+        allowed = ", ".join(self.config.kernel_allowed_desim_modules)
+        return self.finding(
+            source,
+            node,
+            f"kernel module imports desim generator machinery ({module!r}); "
+            f"the array kernel may only import {allowed} — sharing the "
+            "coroutine machinery would collapse the kernel-vs-oracle "
+            "bitwise-pinning contract into one implementation testing itself",
+        )
+
+    @staticmethod
+    def _is_desim(module: str) -> bool:
+        return "desim" in module.split(".")
+
+    def _allowed(self, module: str) -> bool:
+        parts = module.split(".")
+        try:
+            start = parts.index("desim")
+        except ValueError:
+            return False
+        tail = ".".join(parts[start:])
+        return tail in self.config.kernel_allowed_desim_modules
+
+    @staticmethod
+    def _inside(source: SourceFile, package_suffix: str) -> bool:
+        """Whether the file lives under the given package path fragment."""
+        want = tuple(part for part in package_suffix.split("/") if part)
+        have = source.path.parts
+        for start in range(len(have) - len(want) + 1):
+            if have[start:start + len(want)] == want:
+                return True
+        return False

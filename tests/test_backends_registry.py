@@ -32,14 +32,22 @@ from repro.backends import (
 )
 from repro.core import JobArrivalSpec, OwnerSpec, ScenarioSpec
 from repro.engine import ResultCache, SweepRunner
+from repro.kernel.backend import EventKernelBackend
 
-ALL_MODES = ("discrete-time", "monte-carlo", "event-driven", "open-system")
+ALL_MODES = (
+    "discrete-time",
+    "monte-carlo",
+    "event-driven",
+    "open-system",
+    "event-kernel",
+)
 
 EXPECTED_CLASSES = {
     "discrete-time": DiscreteTimeSimulator,
     "monte-carlo": MonteCarloSampler,
     "event-driven": EventDrivenClusterSimulator,
     "open-system": OpenSystemSimulator,
+    "event-kernel": EventKernelBackend,
 }
 
 

@@ -213,7 +213,7 @@ class TestVectorizedHeterogeneous:
             )
             assert abs(a.mean_job_time - b.mean_job_time) <= tolerance
 
-    def test_ineligible_configs_fall_back_with_reasons(self, paper_owner):
+    def test_ineligible_configs_route_to_the_kernel(self, paper_owner):
         from repro.core import JobArrivalSpec, ScenarioSpec
 
         eligible = self._hetero_grid(num_jobs=200)[:2]
@@ -235,25 +235,51 @@ class TestVectorizedHeterogeneous:
         outcome = SweepRunner(jobs=1).run_vectorized(grid)
         assert len(outcome) == len(grid)
         assert outcome.vectorized_groups == 1
-        assert outcome.fallback_points == 3
-        assert outcome.fallback_reasons == {
-            "non-static policy (self-scheduling)": 1,
-            "open-system scenario": 1,
-            "fractional task demand": 1,
-        }
-        # fallbacks ran on a capable scalar backend, in grid order, and the
-        # outcome-level label reports the mix honestly
-        assert outcome[2].mode == "event-driven"
-        assert outcome[3].mode == "open-system"
-        assert outcome[4].mode == "event-driven"
+        # the sampler-ineligible points all have kernel transition tables, so
+        # they batch on the array kernel instead of degrading to scalar runs
+        assert outcome.kernel_points == 3
+        assert outcome.fallback_points == 0
+        assert outcome.fallback_reasons == {}
+        assert outcome[2].mode == "event-kernel"
+        assert outcome[3].mode == "event-kernel"
+        assert outcome[4].mode == "event-kernel"
         assert outcome.mode == "mixed"
         summary = outcome.summary()
-        assert "3 scalar fallbacks" in summary
-        assert "open-system scenario: 1" in summary
+        assert "3 kernel-batched" in summary
 
-    def test_fallbacks_replay_from_the_cache(self, tmp_path, paper_owner):
-        """Scalar fallbacks are bitwise runs, so a configured cache serves
-        them; the batched (non-bitwise) points keep bypassing it."""
+    def test_kernel_inexpressible_configs_fall_back_with_reasons(self, paper_owner):
+        from repro.core import JobArrivalSpec, JobClassSpec, ScenarioSpec
+
+        space_shared = SimulationConfig.from_scenario(
+            ScenarioSpec.homogeneous(
+                4,
+                paper_owner,
+                arrivals=JobArrivalSpec.poisson(
+                    rate=0.002,
+                    job_classes=(JobClassSpec("narrow", width=1),),
+                ),
+            ),
+            task_demand=30.0, num_jobs=20, num_batches=4, seed=3,
+        )
+        grid = self._hetero_grid(num_jobs=200)[:1] + [space_shared]
+        outcome = SweepRunner(jobs=1).run_vectorized(grid)
+        assert len(outcome) == len(grid)
+        assert outcome.kernel_points == 0
+        assert outcome.fallback_points == 1
+        assert outcome.fallback_reasons == {
+            "space-shared admission (job classes)": 1,
+        }
+        # the fallback ran on a capable scalar backend and the outcome-level
+        # label reports the mix honestly
+        assert outcome[1].mode == "open-system"
+        assert outcome.mode == "mixed"
+        summary = outcome.summary()
+        assert "1 scalar fallbacks" in summary
+        assert "space-shared admission (job classes): 1" in summary
+
+    def test_kernel_points_replay_from_the_cache(self, tmp_path, paper_owner):
+        """Kernel-batched points are bitwise runs, so a configured cache
+        serves them; the sampled (non-bitwise) points keep bypassing it."""
         fractional = SimulationConfig(
             workstations=2, task_demand=10.5, owner=paper_owner,
             num_jobs=20, num_batches=4, seed=5,
@@ -263,15 +289,16 @@ class TestVectorizedHeterogeneous:
         first = runner.run_vectorized(grid)
         assert first.simulated == 3 and first.cache_hits == 0
         second = runner.run_vectorized(grid)
-        assert second.cache_hits == 1  # the fallback replayed
+        assert second.cache_hits == 1  # the kernel point replayed
         assert second.simulated == 2  # the batched points re-drew
         np.testing.assert_array_equal(first[2].job_times, second[2].job_times)
-        # the cached fallback is also visible to the plain run() path
+        # the cached kernel point is bitwise-equal to the oracle, so it is
+        # also visible to the plain run() path under the oracle's mode
         direct = runner.run([fractional], mode="event-driven")
         assert direct.cache_hits == 1
 
-    def test_fallbacks_fan_out_over_the_worker_pool(self, paper_owner):
-        """Scalar fallbacks must use the configured pool, bitwise-stable."""
+    def test_kernel_results_are_composition_independent(self, paper_owner):
+        """A point's result must not depend on what shares its batch."""
         fractionals = [
             SimulationConfig(
                 workstations=2, task_demand=10.5, owner=paper_owner,
@@ -279,13 +306,13 @@ class TestVectorizedHeterogeneous:
             )
             for seed in (1, 2, 3)
         ]
-        serial = SweepRunner(jobs=1).run_vectorized(fractionals)
-        pooled = SweepRunner(jobs=2).run_vectorized(fractionals)
-        assert pooled.jobs == 2 and pooled.fallback_points == 3
-        for a, b in zip(serial, pooled):
-            np.testing.assert_array_equal(a.job_times, b.job_times)
+        together = SweepRunner(jobs=1).run_vectorized(fractionals)
+        assert together.kernel_points == 3
+        for config, batched in zip(fractionals, together):
+            alone = SweepRunner(jobs=1).run_vectorized([config])
+            np.testing.assert_array_equal(alone[0].job_times, batched.job_times)
 
-    def test_fallback_results_match_direct_runs(self, paper_owner):
+    def test_kernel_results_match_direct_oracle_runs(self, paper_owner):
         fractional = SimulationConfig(
             workstations=3, task_demand=20.5, owner=paper_owner,
             num_jobs=30, num_batches=4, seed=9,
@@ -422,12 +449,81 @@ class TestSweepCli:
         assert "invalid literal" in capsys.readouterr().err
 
     def test_vectorized_path(self, capsys):
-        assert main(self.ARGS + ["--vectorized"]) == 0
+        assert main(self.ARGS + ["--vectorized", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "2 points (2 simulated, 0 cached)" in out
-        assert "cache:" not in out  # vectorized runs bypass the cache
+        assert "cache:" not in out
 
-    def test_vectorized_rejects_other_backends(self, capsys):
-        args = self.ARGS + ["--vectorized", "--mode", "event-driven"]
+    def test_vectorized_kernel_grid_replays_from_the_cache(self, capsys, tmp_path):
+        # An event-driven grid under --vectorized batches on the array
+        # kernel; the kernel path is bitwise, so a second run replays.
+        args = [
+            "sweep", "policy-compare",
+            "--num-jobs", "30",
+            "--workstations", "4",
+            "--utilizations", "0.1",
+            "--vectorized",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # the static-policy point is sampler-eligible; the other two batch
+        # on the kernel and enter the cache
+        assert "2 kernel-batched" in out
+        assert "3 points (3 simulated, 0 cached)" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # the sampled point re-draws (not bitwise, never cached); both
+        # kernel points replay
+        assert "3 points (1 simulated, 2 cached)" in out
+
+    def test_vectorized_rejects_unbatchable_backends(self, capsys):
+        args = self.ARGS + ["--vectorized", "--mode", "discrete-time"]
         assert main(args) == 2
-        assert "--vectorized only supports" in capsys.readouterr().err
+        assert "--vectorized supports" in capsys.readouterr().err
+
+    def test_profile_prints_cumulative_stats(self, capsys):
+        args = self.ARGS + ["--no-cache", "--mode", "event-driven", "--profile", "5"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Ordered by: cumulative time" in out
+        assert "restriction <5>" in out
+        # the simulator hot path dominates, so its module must show up
+        assert "desim" in out
+
+    def test_profile_with_full_cache_reports_nothing_ran(self, capsys, tmp_path):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "no profile collected" in out
+
+
+class TestSweepProfiling:
+    def test_run_collects_merged_worker_profiles(self, small_grid):
+        outcome = SweepRunner(jobs=2).run(
+            small_grid, mode="monte-carlo", profile=True
+        )
+        assert outcome.profile is not None
+        report = outcome.profile_report(top=10)
+        assert "cumulative" in report
+        # profiling must not change the results
+        plain = SweepRunner(jobs=1).run(small_grid, mode="monte-carlo")
+        for a, b in zip(plain, outcome):
+            np.testing.assert_array_equal(a.job_times, b.job_times)
+
+    def test_run_vectorized_profiles_the_batch_passes(self, paper_owner):
+        fractional = SimulationConfig(
+            workstations=2, task_demand=10.5, owner=paper_owner,
+            num_jobs=20, num_batches=4, seed=5,
+        )
+        outcome = SweepRunner(jobs=1).run_vectorized([fractional], profile=True)
+        assert outcome.kernel_points == 1
+        assert outcome.profile is not None
+        assert "kernel" in outcome.profile_report(top=30)
+
+    def test_unprofiled_outcome_reports_no_profile(self, small_grid):
+        outcome = SweepRunner(jobs=1).run(small_grid)
+        assert outcome.profile is None
+        assert "no profile collected" in outcome.profile_report()

@@ -1,0 +1,307 @@
+"""Tests of the array event kernel: agenda contract, bitwise oracle pinning.
+
+Three layers, mirroring the kernel's guarantees:
+
+* the :class:`~repro.kernel.EventAgenda` honours the exact ``(when,
+  priority, tie)`` ordering contract of ``desim.Environment`` — the edge
+  cases (simultaneous-event FIFO, empty-agenda peek, events exactly at the
+  horizon) are asserted against *both* implementations so the contract
+  cannot drift on either side;
+* the ``event-kernel`` backend is bitwise-identical to the generator
+  oracles (``event-driven`` / ``open-system``) for every registered policy,
+  closed and open, imbalanced and trace-driven;
+* cross-point batching is composition-independent, and the schema-6 cache
+  aliasing lets kernel results replay under the oracle modes and back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    SimulationConfig,
+    backend_names,
+    get_backend,
+    run_simulation,
+)
+from repro.cluster import OwnerBehavior, POLICY_NAMES
+from repro.core import JobArrivalSpec, JobClassSpec, OwnerSpec, ScenarioSpec
+from repro.desim import Environment, StreamRegistry
+from repro.engine import ResultCache, config_fingerprint
+from repro.kernel import NORMAL, URGENT, EventAgenda, KERNEL_POLICIES
+from repro.kernel.backend import kernel_blocker
+from repro.workload import generate_trace
+
+
+# ---------------------------------------------------------------------------
+# config builders
+# ---------------------------------------------------------------------------
+
+
+def _closed_config(policy: str, *, seed: int = 11, imbalance: float = 0.3):
+    scenario = ScenarioSpec.homogeneous(
+        4,
+        OwnerSpec(demand=10.0, utilization=0.4),
+        policy=policy,
+        imbalance=imbalance,
+    )
+    return SimulationConfig.from_scenario(
+        scenario, task_demand=40.0, num_jobs=40, num_batches=4, seed=seed
+    )
+
+
+def _open_config(policy: str, *, seed: int = 13, max_concurrent: int = 3):
+    scenario = ScenarioSpec.homogeneous(
+        3,
+        OwnerSpec(demand=10.0, utilization=0.3),
+        policy=policy,
+        arrivals=JobArrivalSpec.poisson(
+            rate=0.004, max_concurrent_jobs=max_concurrent
+        ),
+    )
+    return SimulationConfig.from_scenario(
+        scenario, task_demand=30.0, num_jobs=30, num_batches=4, seed=seed
+    )
+
+
+def _trace_config(policy: str, *, seed: int = 17):
+    behavior = OwnerBehavior.from_spec(OwnerSpec(demand=10.0, utilization=0.3))
+    streams = StreamRegistry(99)
+    traces = [
+        generate_trace(behavior, 5_000.0, streams.stream(f"trace-{w}"))
+        for w in range(3)
+    ]
+    scenario = ScenarioSpec.from_traces(traces, policy=policy)
+    return SimulationConfig.from_scenario(
+        scenario, task_demand=30.0, num_jobs=25, num_batches=4, seed=seed
+    )
+
+
+def _assert_bitwise(oracle, kernel):
+    if hasattr(oracle, "arrival_times"):
+        np.testing.assert_array_equal(oracle.arrival_times, kernel.arrival_times)
+        np.testing.assert_array_equal(oracle.start_times, kernel.start_times)
+        np.testing.assert_array_equal(oracle.end_times, kernel.end_times)
+        np.testing.assert_array_equal(oracle.demands, kernel.demands)
+    else:
+        np.testing.assert_array_equal(oracle.job_times, kernel.job_times)
+        np.testing.assert_array_equal(oracle.task_times, kernel.task_times)
+        assert oracle.job_time_interval == kernel.job_time_interval
+    assert (
+        oracle.measured_owner_utilization == kernel.measured_owner_utilization
+    )
+
+
+# ---------------------------------------------------------------------------
+# agenda ordering contract, shared with the oracle
+# ---------------------------------------------------------------------------
+
+
+class TestAgendaContract:
+    def test_simultaneous_events_pop_in_push_order(self):
+        """FIFO among equal ``(when, priority)`` — on both implementations."""
+        agenda = EventAgenda()
+        for label in ("a", "b", "c"):
+            agenda.push(5.0, NORMAL, kind=0, payload=label)
+        assert [agenda.pop()[4] for _ in range(3)] == ["a", "b", "c"]
+
+        env = Environment()
+        seen: list[str] = []
+        for label in ("a", "b", "c"):
+            event = env.timeout(5.0, value=label)
+            event.callbacks.append(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_urgent_beats_normal_at_the_same_instant(self):
+        agenda = EventAgenda()
+        agenda.push(5.0, NORMAL, kind=0, payload="normal")
+        agenda.push(5.0, URGENT, kind=0, payload="urgent")
+        assert agenda.pop()[4] == "urgent"
+        assert agenda.pop()[4] == "normal"
+
+    def test_empty_agenda_peeks_infinity(self):
+        assert EventAgenda().peek() == float("inf")
+        assert Environment().peek() == float("inf")
+
+    def test_event_exactly_at_horizon_loses_to_the_stop(self):
+        """A NORMAL event at exactly t=horizon must not run before the stop.
+
+        ``Environment.run(until=h)`` enqueues its stop event URGENT at ``h``,
+        so a NORMAL event at the same instant stays unprocessed; the agenda
+        reproduces that with the same two pushes.
+        """
+        env = Environment()
+        seen: list[str] = []
+        event = env.timeout(5.0, value="at-horizon")
+        event.callbacks.append(lambda e: seen.append(e.value))
+        env.run(until=5.0)
+        assert env.now == 5.0 and seen == []
+
+        agenda = EventAgenda()
+        agenda.push(5.0, NORMAL, kind=0, payload="at-horizon")
+        agenda.push(5.0, URGENT, kind=1, payload="stop")
+        assert agenda.pop()[4] == "stop"
+
+    def test_tick_consumes_a_tie_without_an_entry(self):
+        """Elided no-op events still advance the tie counter (trace parity)."""
+        agenda = EventAgenda()
+        assert agenda.tie == 0
+        agenda.push(1.0, NORMAL, kind=0)
+        agenda.tick()
+        agenda.push(1.0, NORMAL, kind=0)
+        assert agenda.tie == 3
+        first = agenda.pop()
+        second = agenda.pop()
+        assert (first[2], second[2]) == (0, 2)  # tie 1 went to the tick
+
+    def test_snapshot_lists_entries_in_pop_order(self):
+        agenda = EventAgenda()
+        agenda.push(2.0, NORMAL, kind=7)
+        agenda.push(1.0, NORMAL, kind=8)
+        agenda.push(1.0, URGENT, kind=9)
+        snap = agenda.snapshot()
+        assert snap["kind"].tolist() == [9, 8, 7]
+        assert snap["when"].tolist() == [1.0, 1.0, 2.0]
+        assert len(agenda) == 3  # snapshot is non-destructive
+
+    def test_reset_clears_entries_and_tie(self):
+        agenda = EventAgenda()
+        agenda.push(1.0, NORMAL, kind=0)
+        agenda.reset()
+        assert not agenda and agenda.tie == 0
+
+
+# ---------------------------------------------------------------------------
+# routing probe
+# ---------------------------------------------------------------------------
+
+
+class TestKernelBlocker:
+    def test_covers_every_registered_policy(self):
+        # the kernel must keep transition tables for the full policy registry;
+        # a new policy has to either get one or extend this contract knowingly
+        assert set(POLICY_NAMES) == set(KERNEL_POLICIES)
+        for policy in POLICY_NAMES:
+            assert kernel_blocker(_closed_config(policy)) is None
+            assert kernel_blocker(_open_config(policy)) is None
+
+    def test_space_shared_admission_is_blocked(self):
+        scenario = ScenarioSpec.homogeneous(
+            4,
+            OwnerSpec(demand=10.0, utilization=0.2),
+            arrivals=JobArrivalSpec.poisson(
+                rate=0.002, job_classes=(JobClassSpec("narrow", width=1),)
+            ),
+        )
+        config = SimulationConfig.from_scenario(
+            scenario, task_demand=20.0, num_jobs=10, num_batches=2, seed=1
+        )
+        assert kernel_blocker(config) == "space-shared admission (job classes)"
+        with pytest.raises(ValueError, match="space-shared"):
+            get_backend("event-kernel")(config).run()
+
+    def test_registered_with_full_capabilities(self):
+        assert "event-kernel" in backend_names()
+        caps = get_backend("event-kernel").capabilities
+        assert caps.scheduling_policies and caps.open_system
+        assert caps.fractional_demand and caps.trace_owners and caps.batched
+
+
+# ---------------------------------------------------------------------------
+# bitwise pinning against the generator oracles
+# ---------------------------------------------------------------------------
+
+
+class TestBitwisePinning:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_closed_imbalanced(self, policy):
+        config = _closed_config(policy)
+        _assert_bitwise(
+            run_simulation(config, "event-driven"),
+            run_simulation(config, "event-kernel"),
+        )
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_open_with_admission_limit(self, policy):
+        config = _open_config(policy)
+        _assert_bitwise(
+            run_simulation(config, "open-system"),
+            run_simulation(config, "event-kernel"),
+        )
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_trace_driven_owners(self, policy):
+        config = _trace_config(policy)
+        _assert_bitwise(
+            run_simulation(config, "event-driven"),
+            run_simulation(config, "event-kernel"),
+        )
+
+    def test_result_mode_labels_provenance(self):
+        config = _closed_config("static")
+        assert run_simulation(config, "event-kernel").mode == "event-kernel"
+
+
+# ---------------------------------------------------------------------------
+# cross-point batching
+# ---------------------------------------------------------------------------
+
+
+class TestRunBatch:
+    def test_results_independent_of_batch_composition(self):
+        configs = [
+            _closed_config("static", seed=1),
+            _closed_config("self-scheduling", seed=2),
+            _open_config("migrate-on-owner-arrival", seed=3),
+            _trace_config("static", seed=4),
+        ]
+        backend = get_backend("event-kernel")
+        batched = backend.run_batch(configs)
+        for config, together in zip(configs, batched):
+            (alone,) = backend.run_batch([config])
+            _assert_bitwise(alone, together)
+            _assert_bitwise(backend(config).run(), together)
+
+
+# ---------------------------------------------------------------------------
+# cache aliasing across executors (schema 6)
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCrossExecutor:
+    def test_fingerprints_alias_to_the_oracle_mode(self):
+        closed = _closed_config("self-scheduling")
+        assert config_fingerprint(closed, "event-kernel") == config_fingerprint(
+            closed, "event-driven"
+        )
+        opened = _open_config("static")
+        assert config_fingerprint(opened, "event-kernel") == config_fingerprint(
+            opened, "open-system"
+        )
+        # the two oracles themselves never collide
+        assert config_fingerprint(closed, "event-driven") != config_fingerprint(
+            closed, "monte-carlo"
+        )
+
+    @pytest.mark.parametrize(
+        "build, oracle_mode",
+        [(_closed_config, "event-driven"), (_open_config, "open-system")],
+    )
+    def test_kernel_entries_replay_under_the_oracle_and_back(
+        self, tmp_path, build, oracle_mode
+    ):
+        config = build("self-scheduling")
+        cache = ResultCache(tmp_path / "cache")
+
+        cache.store(config, "event-kernel", run_simulation(config, "event-kernel"))
+        replayed = cache.load(config, oracle_mode)
+        assert replayed is not None and replayed.mode == oracle_mode
+        _assert_bitwise(run_simulation(config, oracle_mode), replayed)
+
+        cache.clear()
+        cache.store(config, oracle_mode, run_simulation(config, oracle_mode))
+        replayed = cache.load(config, "event-kernel")
+        assert replayed is not None and replayed.mode == "event-kernel"
+        _assert_bitwise(run_simulation(config, oracle_mode), replayed)

@@ -18,6 +18,7 @@ from repro.lint.core import Finding, LintRule, SourceFile
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.fingerprint import FingerprintCoverageRule
 from repro.lint.rules.interrupts import InterruptSafetyRule
+from repro.lint.rules.layering import KernelLayeringRule
 from repro.lint.rules.npz_symmetry import NpzSymmetryRule
 from repro.lint.rules.registry_bypass import RegistryBypassRule
 
@@ -43,7 +44,9 @@ def _project_findings(rule_cls, *sources, config=None):
 
 class TestRuleRegistry:
     def test_builtin_rules_registered_in_order(self):
-        assert rule_names() == ("SL001", "SL002", "SL003", "SL004", "SL005")
+        assert rule_names() == (
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+        )
         assert [rule.rule_id for rule in all_rules()] == list(rule_names())
 
     def test_get_rule_unknown_id_lists_known(self):
@@ -804,6 +807,69 @@ class TestNpzSymmetry:
             SourceFile("src/repro/backends/open_system.py"),
         ]
         assert _project_findings(NpzSymmetryRule, *sources) == []
+
+
+# ---------------------------------------------------------------------------
+# SL006 kernel layering
+# ---------------------------------------------------------------------------
+
+
+class TestKernelLayering:
+    PATH = "src/repro/kernel/machine.py"
+
+    def test_flags_generator_machinery_imports(self):
+        findings = _file_findings(
+            KernelLayeringRule,
+            """
+            from ..desim.core import Environment
+            from repro.desim import Process
+            import repro.desim.resources
+            """,
+            path=self.PATH,
+        )
+        assert len(findings) == 3
+        assert all(f.rule == "SL006" for f in findings)
+        assert "bitwise-pinning" in findings[0].message
+
+    def test_rng_layer_is_allowed(self):
+        findings = _file_findings(
+            KernelLayeringRule,
+            """
+            from ..desim.rng import StreamRegistry, make_variate
+            from repro.desim.rng import derive_seed
+            from ..desim import rng
+            from ..cluster.owner import OwnerBehavior
+            import numpy as np
+            """,
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_mixed_package_from_import_is_flagged(self):
+        # `from ..desim import rng, Environment` smuggles machinery past the
+        # submodule allowance, so the whole statement is flagged
+        findings = _file_findings(
+            KernelLayeringRule,
+            "from ..desim import rng, Environment\n",
+            path=self.PATH,
+        )
+        assert len(findings) == 1
+
+    def test_other_packages_are_out_of_scope(self):
+        findings = _file_findings(
+            KernelLayeringRule,
+            "from repro.desim import Environment\n",
+            path="src/repro/backends/event_driven.py",
+        )
+        assert findings == []
+
+    def test_real_kernel_package_is_clean(self):
+        from pathlib import Path
+
+        for path in sorted(Path("src/repro/kernel").glob("*.py")):
+            assert _file_findings(
+                KernelLayeringRule, Path(path).read_text(), path=str(path)
+            ) == []
 
 
 # ---------------------------------------------------------------------------

@@ -160,16 +160,21 @@ class TestBackendSupport:
         nominal = float(np.mean([t.utilization for t in traces]))
         assert result.measured_owner_utilization == pytest.approx(nominal, abs=0.03)
 
-    def test_run_vectorized_falls_back_for_traces(self, busy_owner):
+    def test_run_vectorized_routes_traces_to_the_kernel(self, busy_owner):
+        # The sampler still cannot express trace replay, but the array
+        # kernel can: instead of a scalar fallback the point is batched on
+        # the event-kernel backend (bitwise-equal to the event-driven run).
         traces = _traces(busy_owner, count=2, horizon=2_000.0)
         config = SimulationConfig.from_scenario(
             ScenarioSpec.from_traces(traces), task_demand=20.0,
             num_jobs=20, num_batches=4,
         )
         outcome = SweepRunner(jobs=1).run_vectorized([config])
-        assert outcome.fallback_points == 1
-        assert outcome.fallback_reasons == {"trace-driven owners": 1}
-        assert outcome[0].mode == "event-driven"
+        assert outcome.kernel_points == 1
+        assert outcome.fallback_points == 0
+        assert outcome[0].mode == "event-kernel"
+        oracle = run_simulation(config, "event-driven")
+        np.testing.assert_array_equal(outcome[0].job_times, oracle.job_times)
 
 
 class TestTraceReduction:
