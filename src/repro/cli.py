@@ -42,6 +42,17 @@ backfilling or (preemptive) priority, with per-class response times::
         --admission-policies fcfs,easy-backfill,priority
     repro-experiments run admission
     repro-experiments run open-system-response
+
+Run sweeps as a service: a durable job queue sharing one warm result cache
+across submissions, polled over HTTP/JSON (results are bitwise-identical to
+the library ``SweepRunner.run`` of the same grid, so a resubmitted grid is
+served entirely from the cache)::
+
+    repro-experiments serve --root .repro-service --port 8321
+    repro-experiments submit fig01 --num-jobs 200 --wait
+    repro-experiments status                # all jobs
+    repro-experiments status job-000001-200c7537 --wait
+    repro-experiments result job-000001-200c7537 -o fig01.npz
 """
 
 from __future__ import annotations
@@ -65,8 +76,102 @@ from .experiments import (
 )
 from .experiments.ablations import AblationRow
 from .experiments.open_system import QueueingRow
+from .service.specs import EXECUTORS
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_grid_override_args(parser: argparse.ArgumentParser) -> None:
+    """Grid-override flags shared by ``sweep`` and service ``submit``."""
+    parser.add_argument(
+        "--num-jobs", type=int, default=None,
+        help="job completions sampled per point (default: the grid's setting)",
+    )
+    parser.add_argument(
+        "--workstations", default=None,
+        help="comma-separated workstation counts overriding the grid's W axis",
+    )
+    parser.add_argument(
+        "--utilizations", default=None,
+        help=(
+            "comma-separated owner utilizations overriding the grid's curves "
+            "(cluster-average utilizations for hetero-concentration)"
+        ),
+    )
+    parser.add_argument(
+        "--concentrations", default=None,
+        help=(
+            "comma-separated load-concentration levels in [0, 1] "
+            "(hetero-concentration grid only)"
+        ),
+    )
+    parser.add_argument(
+        "--policies", default=None,
+        help=(
+            "comma-separated scheduling policies "
+            "(policy-compare grid only; see repro.cluster.POLICY_NAMES)"
+        ),
+    )
+    parser.add_argument(
+        "--arrival-rates", default=None,
+        help=(
+            "comma-separated normalized job-arrival rates in (0, 1) — "
+            "fractions of each point's saturation throughput "
+            "(arrival-sweep and admission-sweep grids)"
+        ),
+    )
+    parser.add_argument(
+        "--job-widths", default=None,
+        help=(
+            "comma-separated moldable-job widths for the narrow class "
+            "(admission-sweep grid only)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-policies", default=None,
+        help=(
+            "comma-separated admission policies "
+            "(admission-sweep grid only; see repro.cluster.ADMISSION_POLICY_NAMES)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed from which every point's seed is derived (default 0)",
+    )
+
+
+def _grid_overrides(args: argparse.Namespace) -> dict:
+    """Decode the shared override flags into ``build_grid`` kwargs.
+
+    Raises ``ValueError`` on an unparsable axis value; unknown-grid /
+    unsupported-override errors surface later from ``build_grid`` itself.
+    """
+    overrides: dict = {"seed": args.seed}
+    if args.num_jobs is not None:
+        overrides["num_jobs"] = args.num_jobs
+    if args.workstations:
+        overrides["workstation_counts"] = tuple(
+            int(w) for w in args.workstations.split(",")
+        )
+    if args.utilizations:
+        overrides["utilizations"] = tuple(
+            float(u) for u in args.utilizations.split(",")
+        )
+    if args.concentrations:
+        overrides["concentration_levels"] = tuple(
+            float(c) for c in args.concentrations.split(",")
+        )
+    if args.policies:
+        overrides["policies"] = tuple(args.policies.split(","))
+    if args.arrival_rates:
+        overrides["arrival_rates"] = tuple(
+            float(r) for r in args.arrival_rates.split(",")
+        )
+    if args.job_widths:
+        overrides["job_widths"] = tuple(int(w) for w in args.job_widths.split(","))
+    if args.admission_policies:
+        overrides["admission_policies"] = tuple(args.admission_policies.split(","))
+    return overrides
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,61 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=backend_names(),
         help="simulation backend (default: the grid's backend)",
     )
-    sweep_parser.add_argument(
-        "--num-jobs", type=int, default=None,
-        help="job completions sampled per point (default: the grid's setting)",
-    )
-    sweep_parser.add_argument(
-        "--workstations", default=None,
-        help="comma-separated workstation counts overriding the grid's W axis",
-    )
-    sweep_parser.add_argument(
-        "--utilizations", default=None,
-        help=(
-            "comma-separated owner utilizations overriding the grid's curves "
-            "(cluster-average utilizations for hetero-concentration)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--concentrations", default=None,
-        help=(
-            "comma-separated load-concentration levels in [0, 1] "
-            "(hetero-concentration grid only)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--policies", default=None,
-        help=(
-            "comma-separated scheduling policies "
-            "(policy-compare grid only; see repro.cluster.POLICY_NAMES)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--arrival-rates", default=None,
-        help=(
-            "comma-separated normalized job-arrival rates in (0, 1) — "
-            "fractions of each point's saturation throughput "
-            "(arrival-sweep and admission-sweep grids)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--job-widths", default=None,
-        help=(
-            "comma-separated moldable-job widths for the narrow class "
-            "(admission-sweep grid only)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--admission-policies", default=None,
-        help=(
-            "comma-separated admission policies "
-            "(admission-sweep grid only; see repro.cluster.ADMISSION_POLICY_NAMES)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--seed", type=int, default=0,
-        help="base seed from which every point's seed is derived (default 0)",
-    )
+    _add_grid_override_args(sweep_parser)
     sweep_parser.add_argument(
         "--profile", type=int, nargs="?", const=15, default=None, metavar="N",
         help=(
@@ -235,6 +286,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the sweep service: a durable job queue with a shared warm "
+            "result cache, polled over HTTP/JSON"
+        ),
+    )
+    serve_parser.add_argument(
+        "--root", default=".repro-service",
+        help=(
+            "service state directory (jobs/, cache/, results/); restarting "
+            "over the same root resumes pending work (default .repro-service)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (default 8321)"
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per shard (default: one per CPU)",
+    )
+    serve_parser.add_argument(
+        "--shard-size", type=int, default=16,
+        help="grid points per shard — the progress-streaming granularity "
+             "(default 16)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a named grid to a running sweep service"
+    )
+    submit_parser.add_argument(
+        "grid", help=f"sweep grid name, one of: {', '.join(GRID_NAMES)}"
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default http://127.0.0.1:8321)",
+    )
+    submit_parser.add_argument(
+        "--executor", default="sweep", choices=EXECUTORS,
+        help=(
+            "execution strategy: 'sweep' (bitwise, fully cache-served; the "
+            "default) or 'vectorized' (batched fast paths — sampled "
+            "monte-carlo points bypass the cache and are only statistically "
+            "identical)"
+        ),
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its final record",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    _add_grid_override_args(submit_parser)
+
+    status_parser = subparsers.add_parser(
+        "status", help="poll a submitted job (or list all jobs) as JSON"
+    )
+    status_parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id from 'submit' (omit to list every job)",
+    )
+    status_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default http://127.0.0.1:8321)",
+    )
+    status_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes (requires a job id)",
+    )
+    status_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+
+    result_parser = subparsers.add_parser(
+        "result", help="download a finished job's NPZ result payload"
+    )
+    result_parser.add_argument("job_id", help="job id from 'submit'")
+    result_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default http://127.0.0.1:8321)",
+    )
+    result_parser.add_argument(
+        "-o", "--output", required=True,
+        help="path to write the NPZ payload to",
+    )
     return parser
 
 
@@ -277,44 +423,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "sweep":
-        overrides: dict = {"seed": args.seed}
-        if args.num_jobs is not None:
-            overrides["num_jobs"] = args.num_jobs
         try:
-            if args.workstations:
-                overrides["workstation_counts"] = tuple(
-                    int(w) for w in args.workstations.split(",")
-                )
-            if args.utilizations:
-                overrides["utilizations"] = tuple(
-                    float(u) for u in args.utilizations.split(",")
-                )
-            if args.concentrations:
-                overrides["concentration_levels"] = tuple(
-                    float(c) for c in args.concentrations.split(",")
-                )
-            if args.policies:
-                overrides["policies"] = tuple(args.policies.split(","))
-            if args.arrival_rates:
-                overrides["arrival_rates"] = tuple(
-                    float(r) for r in args.arrival_rates.split(",")
-                )
-            if args.job_widths:
-                overrides["job_widths"] = tuple(
-                    int(w) for w in args.job_widths.split(",")
-                )
-            if args.admission_policies:
-                overrides["admission_policies"] = tuple(
-                    args.admission_policies.split(",")
-                )
-            configs = build_grid(args.grid, **overrides)
-            mode = args.mode or grid_mode(args.grid)
-            vectorizable = ("monte-carlo", "event-driven", "open-system", "event-kernel")
-            if args.vectorized and mode not in vectorizable:
+            configs = build_grid(args.grid, **_grid_overrides(args))
+            if args.vectorized and args.mode is not None:
+                # run_vectorized takes no mode: it routes each point itself
+                # (sampler batch / event kernel / scalar fallback), so a
+                # --mode here would be validated and then silently ignored.
                 raise ValueError(
-                    "--vectorized supports the "
-                    f"{', '.join(vectorizable)} backends, not {mode!r}"
+                    f"--mode {args.mode} cannot be combined with --vectorized: "
+                    "the vectorized path picks its own executor per point "
+                    "(batched sampler, array event kernel, or scalar "
+                    "fallback); drop --mode, or drop --vectorized to force "
+                    "one backend"
                 )
+            mode = args.mode or grid_mode(args.grid)
             runner = SweepRunner(
                 jobs=args.jobs,
                 cache=None if args.no_cache else args.cache_dir,
@@ -355,6 +477,83 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         sys.stdout.write(format_findings(findings, args.report_format))
         return 1 if findings else 0
+
+    if args.command == "serve":
+        from .service import SweepService, serve_forever
+
+        try:
+            service = SweepService(
+                args.root, jobs=args.jobs, shard_size=args.shard_size
+            )
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if service.recovered:
+            recovered = ", ".join(r.job_id for r in service.recovered)
+            print(f"re-queued after restart: {recovered}")
+        pending = len(service.store.pending())
+        print(
+            f"sweep service on http://{args.host}:{args.port} "
+            f"(root={service.root}, {pending} queued, "
+            f"{len(service.cache)} cached points)"
+        )
+        serve_forever(
+            service, host=args.host, port=args.port, verbose=not args.quiet
+        )
+        return 0
+
+    if args.command in ("submit", "status", "result"):
+        import json as _json
+
+        from .service import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url)
+        try:
+            if args.command == "submit":
+                record = client.submit_grid(
+                    args.grid, _grid_overrides(args), executor=args.executor
+                )
+                if args.wait:
+                    record = client.wait(record.job_id, timeout=args.timeout)
+            elif args.command == "status":
+                if args.job_id is None:
+                    if args.wait:
+                        raise ValueError("status --wait needs a job id")
+                    jobs = client.jobs()
+                    print(
+                        _json.dumps(
+                            {"jobs": [r.to_json() for r in jobs]},
+                            indent=2,
+                            sort_keys=True,
+                        )
+                    )
+                    return 0
+                record = (
+                    client.wait(args.job_id, timeout=args.timeout)
+                    if args.wait
+                    else client.status(args.job_id)
+                )
+            else:  # result
+                record = client.status(args.job_id)
+                if record.status != "done":
+                    print(
+                        f"job {args.job_id} is {record.status}, not done",
+                        file=sys.stderr,
+                    )
+                    return 1
+                payload = client.result_bytes(args.job_id)
+                with open(args.output, "wb") as handle:
+                    handle.write(payload)
+                print(f"wrote {len(payload)} bytes to {args.output}")
+                return 0
+        except (ServiceError, ValueError, TimeoutError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"cannot reach the service at {args.url}: {exc}", file=sys.stderr)
+            return 2
+        print(_json.dumps(record.to_json(), indent=2, sort_keys=True))
+        return 1 if record.status == "failed" else 0
 
     if args.command == "feasibility":
         job = JobSpec(total_demand=args.job_demand, rounding=TaskRounding.INTERPOLATE)

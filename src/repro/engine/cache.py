@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -219,6 +220,27 @@ class ResultCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp_files()
+
+    def _sweep_stale_tmp_files(self) -> int:
+        """Remove ``*.tmp`` leftovers of writers that crashed mid-store.
+
+        :meth:`store` writes through a temp file and atomically renames it
+        into place; a writer killed between the two leaks the temp file,
+        which ``glob("*.npz")`` never sees — so without this sweep a shared
+        cache directory accumulates invisible garbage across service
+        restarts.  A concurrently *live* writer's temp file could in
+        principle be swept too, but that write simply fails and the point is
+        resimulated — the cache never serves a torn entry either way.
+        """
+        removed = 0
+        for leftover in self.root.glob("*.tmp"):
+            try:
+                leftover.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def path_for(self, config: SimulationConfig, mode: str) -> Path:
         """Cache file path of one simulation point."""
@@ -233,10 +255,14 @@ class ResultCache:
         """Return the cached result for a point, or ``None`` on a miss.
 
         A corrupt or unreadable entry is treated as a miss (the point is
-        simply resimulated and rewritten).  The stored arrays are handed to
-        the backend's ``deserialize_result`` hook, which owns the layout and
-        raises on any mismatch — a missing array, or a sample count that
-        contradicts the config — turning the entry into a miss as well.
+        simply resimulated and rewritten) and the corrupt file is deleted so
+        it cannot shadow the rewrite.  ``np.load`` surfaces a truncated or
+        garbled archive as ``zipfile.BadZipFile`` / ``EOFError``, not only as
+        ``OSError``, so both are part of the miss contract.  The stored
+        arrays are handed to the backend's ``deserialize_result`` hook, which
+        owns the layout and raises on any mismatch — a missing array, or a
+        sample count that contradicts the config — turning the entry into a
+        miss as well.
         """
         backend = get_backend(mode)
         path = self.path_for(config, mode)
@@ -246,7 +272,11 @@ class ResultCache:
             with np.load(path, allow_pickle=False) as data:
                 arrays = {key: np.asarray(data[key]) for key in data.files}
             return backend.deserialize_result(config, arrays)
-        except (OSError, KeyError, ValueError):
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def store(
@@ -274,11 +304,16 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached point; returns how many entries were removed."""
+        """Delete every cached point; returns how many entries were removed.
+
+        Stale ``*.tmp`` leftovers are swept as well (not counted — they were
+        never entries), so a cleared directory is genuinely empty.
+        """
         removed = 0
         for entry in self.root.glob("*.npz"):
             entry.unlink()
             removed += 1
+        self._sweep_stale_tmp_files()
         return removed
 
     def __len__(self) -> int:

@@ -165,7 +165,9 @@ class SweepOutcome:
     through a scalar backend, and ``fallback_reasons`` maps each fallback
     reason to how many points it affected — so a sweep that silently
     degraded to the slow path is visible in :meth:`summary` rather than only
-    in its wall time.
+    in its wall time.  Like ``simulated``, these diagnostics count only
+    points that actually *executed* this run: a point replayed from the
+    cache is a ``cache_hit``, never a kernel point or a scalar fallback.
     """
 
     results: list[PointResult]
@@ -445,8 +447,7 @@ class SweepRunner:
         results: list[PointResult | None] = [None] * len(configs)
         groups: dict[tuple, list[int]] = {}
         kernel_batch: list[tuple[int, SimulationConfig]] = []
-        fallbacks: list[tuple[int, SimulationConfig, str]] = []
-        fallback_reasons: dict[str, int] = {}
+        fallbacks: list[tuple[int, SimulationConfig, str, str]] = []
         for index, config in enumerate(configs):
             if _batch_blocker(config) is None:
                 key = (
@@ -462,17 +463,16 @@ class SweepRunner:
             if blocker is None:
                 kernel_batch.append((index, config))
                 continue
-            fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
-            fallbacks.append((index, config, _fallback_mode(config)))
+            fallbacks.append((index, config, _fallback_mode(config), blocker))
         cache_hits = 0
         pending = fallbacks
         kernel_pending = kernel_batch
         if self.cache is not None:
             pending = []
-            for index, config, fallback_mode in fallbacks:
+            for index, config, fallback_mode, blocker in fallbacks:
                 cached = self.cache.load(config, fallback_mode)
                 if cached is None:
-                    pending.append((index, config, fallback_mode))
+                    pending.append((index, config, fallback_mode, blocker))
                 else:
                     results[index] = cached
                     cache_hits += 1
@@ -484,17 +484,24 @@ class SweepRunner:
                 else:
                     results[index] = cached
                     cache_hits += 1
+        # Diagnostics count what actually *executed* this run: a point that
+        # replayed from the cache never fell back to a scalar backend nor
+        # entered a kernel batch, so a fully cached sweep reports zero of
+        # both instead of phantom degradations.
+        fallback_reasons: dict[str, int] = {}
+        for _, _, _, blocker in pending:
+            fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
         worker = _profiled_simulate_point if profile else _simulate_point
         fallen_back = parallel_map(
             worker,
-            [(config, mode) for _, config, mode in pending],
+            [(config, mode) for _, config, mode, _ in pending],
             jobs=self.jobs,
         )
         profiles: list[dict] = []
         if profile:
             profiles = [stats for _, stats in fallen_back]
             fallen_back = [result for result, _ in fallen_back]
-        for (index, config, fallback_mode), result in zip(pending, fallen_back):
+        for (index, config, fallback_mode, _), result in zip(pending, fallen_back):
             results[index] = result
             if self.cache is not None:
                 self.cache.store(config, fallback_mode, result)
@@ -530,8 +537,8 @@ class SweepRunner:
             cache_hits=cache_hits,
             elapsed_seconds=time.perf_counter() - started,
             vectorized_groups=len(groups),
-            kernel_points=len(kernel_batch),
-            fallback_points=len(fallbacks),
+            kernel_points=len(kernel_pending),
+            fallback_points=len(pending),
             fallback_reasons=fallback_reasons,
             profile=merge_profile_stats(profiles),
         )

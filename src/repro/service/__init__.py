@@ -1,0 +1,55 @@
+"""Sweep service: durable job queue, shard scheduler, shared warm cache.
+
+The long-running counterpart to :class:`repro.engine.SweepRunner`: accept
+grid submissions over JSON, persist them as durable job records, execute
+them shard by shard across the runner's process pool through one shared
+result cache, and stream per-job progress over a stdlib HTTP API.  Results
+are bitwise-identical to a library ``SweepRunner.run`` of the same grid —
+seeds derive from grid coordinates, never from service state.
+
+Layering: ``specs`` (JSON codec) → ``jobs`` (durable records) →
+``scheduler`` (sharded execution) / ``results`` (NPZ payloads) →
+``service`` (the queue worker) → ``http`` / ``client`` (the wire).
+"""
+
+from .client import ServiceClient, ServiceError
+from .http import make_server, serve_forever
+from .jobs import JOB_STATUSES, JobRecord, JobStore
+from .results import (
+    load_result_arrays,
+    outcome_arrays,
+    save_result_npz,
+    split_point_arrays,
+)
+from .scheduler import DEFAULT_SHARD_SIZE, ShardProgress, ShardScheduler
+from .service import SweepService
+from .specs import (
+    EXECUTORS,
+    SweepJobSpec,
+    config_from_json,
+    config_to_json,
+    spec_digest,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "JOB_STATUSES",
+    "DEFAULT_SHARD_SIZE",
+    "JobRecord",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "ShardProgress",
+    "ShardScheduler",
+    "SweepJobSpec",
+    "SweepService",
+    "config_from_json",
+    "config_to_json",
+    "load_result_arrays",
+    "make_server",
+    "outcome_arrays",
+    "save_result_npz",
+    "serve_forever",
+    "spec_digest",
+    "split_point_arrays",
+]

@@ -1,0 +1,133 @@
+"""Stdlib client for the sweep service's HTTP/JSON API.
+
+Wraps :mod:`urllib.request` so the CLI subcommands (and tests) talk to a
+running service without any third-party HTTP dependency.  Error responses
+surface as :class:`ServiceError` carrying the HTTP status and the service's
+JSON error text, so callers can distinguish "unknown job" (404) from "not
+done yet" (409) without parsing exception strings.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..backends import SimulationConfig
+from .jobs import JobRecord
+from .specs import SweepJobSpec
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error answer from the service (status + decoded message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service answered {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one sweep service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, path: str, body: Mapping[str, Any] | None = None
+    ) -> bytes:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as answer:
+                return answer.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(exc.code, detail) from None
+
+    def _request_json(
+        self, path: str, body: Mapping[str, Any] | None = None
+    ) -> Any:
+        return json.loads(self._request(path, body))
+
+    # -- API ----------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        payload = self._request_json("/health")
+        assert isinstance(payload, dict)
+        return payload
+
+    def submit(self, spec: SweepJobSpec) -> JobRecord:
+        return JobRecord.from_json(self._request_json("/jobs", spec.to_json()))
+
+    def submit_grid(
+        self,
+        grid: str,
+        overrides: Mapping[str, Any] | None = None,
+        executor: str = "sweep",
+    ) -> JobRecord:
+        return self.submit(SweepJobSpec.for_grid(grid, overrides, executor))
+
+    def submit_points(
+        self,
+        points: Sequence[SimulationConfig],
+        mode: str,
+        executor: str = "sweep",
+    ) -> JobRecord:
+        return self.submit(SweepJobSpec.for_points(points, mode, executor))
+
+    def jobs(self) -> list[JobRecord]:
+        payload = self._request_json("/jobs")
+        return [JobRecord.from_json(entry) for entry in payload["jobs"]]
+
+    def status(self, job_id: str) -> JobRecord:
+        return JobRecord.from_json(self._request_json(f"/jobs/{job_id}"))
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_seconds: float = 0.2
+    ) -> JobRecord:
+        """Poll until the job leaves the queue (``done`` or ``failed``).
+
+        Raises ``TimeoutError`` (with the last observed status) if the job
+        is still queued/running after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record.status in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.status} "
+                    f"({record.points_completed}/{record.total_points} points) "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The finished job's raw NPZ payload."""
+        return self._request(f"/jobs/{job_id}/result")
+
+    def result_arrays(self, job_id: str) -> dict[str, np.ndarray]:
+        """The finished job's payload, decoded to its flat array mapping."""
+        with np.load(
+            io.BytesIO(self.result_bytes(job_id)), allow_pickle=False
+        ) as data:
+            return {key: np.asarray(data[key]) for key in data.files}

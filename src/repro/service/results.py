@@ -1,0 +1,106 @@
+"""NPZ result payloads for completed sweep jobs.
+
+A finished job's deliverable is one compressed NPZ file holding every
+point's serialized arrays, namespaced as ``point00000/<key>`` in grid
+order, plus a per-point backend-mode marker so the file is self-describing.
+The arrays come from each point's backend ``serialize_result`` hook — the
+same layout the result cache stores — so a payload built from a service run
+and one built from a library :meth:`SweepRunner.run` of the same grid are
+comparable array by array.
+
+They are in fact comparable *byte for byte*: ``np.savez_compressed`` writes
+its zip members with a fixed 1980 timestamp and the arrays themselves are
+deterministic under the bitwise contract, so the end-to-end pin in the test
+suite asserts equality of the serialized files, not merely of their
+contents.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..backends import OpenSystemResult, SimulationResult, get_backend
+
+__all__ = [
+    "outcome_arrays",
+    "save_result_npz",
+    "load_result_arrays",
+    "split_point_arrays",
+]
+
+#: Zero-padded namespace prefix: supports grids up to 100k points while
+#: keeping lexicographic order equal to grid order.
+_POINT_KEY = "point{index:05d}/{key}"
+
+
+def outcome_arrays(
+    results: Sequence[SimulationResult | OpenSystemResult],
+) -> dict[str, np.ndarray]:
+    """Flatten a sweep's results into one namespaced array mapping."""
+    arrays: dict[str, np.ndarray] = {}
+    for index, result in enumerate(results):
+        backend = get_backend(result.mode)
+        arrays[_POINT_KEY.format(index=index, key="__mode__")] = np.array(
+            result.mode
+        )
+        for key, value in backend.serialize_result(result).items():
+            arrays[_POINT_KEY.format(index=index, key=key)] = np.asarray(value)
+    return arrays
+
+
+def save_result_npz(
+    path: str | Path,
+    results: Sequence[SimulationResult | OpenSystemResult],
+) -> Path:
+    """Write a job's result payload atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = outcome_arrays(results)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_result_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a result payload back into its flat array mapping."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return {key: np.asarray(data[key]) for key in data.files}
+
+
+def split_point_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> list[tuple[str, dict[str, np.ndarray]]]:
+    """Regroup a flat payload into per-point ``(mode, arrays)`` entries.
+
+    The inverse of :func:`outcome_arrays` up to the namespacing: entry ``i``
+    holds point ``i``'s backend mode and its un-prefixed arrays, ready for
+    that backend's ``deserialize_result`` hook.
+    """
+    grouped: dict[int, dict[str, np.ndarray]] = {}
+    for full_key, value in arrays.items():
+        prefix, _, key = full_key.partition("/")
+        if not key or not prefix.startswith("point"):
+            raise ValueError(f"unrecognized result key {full_key!r}")
+        grouped.setdefault(int(prefix[len("point"):]), {})[key] = value
+    points = []
+    for index in sorted(grouped):
+        entry = grouped[index]
+        mode = str(entry.pop("__mode__"))
+        points.append((mode, entry))
+    return points

@@ -1,0 +1,130 @@
+"""Shard scheduler: one job's grid, executed shard by shard.
+
+The service does not run a job's whole grid in one :meth:`SweepRunner.run`
+call.  It slices the grid into fixed-size shards (grid order preserved) and
+executes them one shard at a time, firing a progress callback after each —
+that callback is how the job record streams ``points_completed`` /
+``cache_hits`` / fallback counters to pollers while the job is still
+running, and why a crash mid-job loses at most one shard of work (completed
+shards are already in the shared result cache, so a recovery rerun replays
+them as hits).
+
+Sharding is free under the engine's determinism contract: every point's
+seed derives from its own config, never from its position in a batch, so
+``run(shard_a) + run(shard_b)`` is bitwise-identical to
+``run(shard_a + shard_b)``.  The scheduler reuses the runner's existing
+routing per shard — :meth:`SweepRunner.run` for the ``sweep`` executor,
+:meth:`SweepRunner.run_vectorized` (batched sampler / array event kernel /
+scalar fallback) for the ``vectorized`` executor — rather than reinventing
+either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..backends import SimulationConfig
+from ..engine import SweepOutcome, SweepRunner
+
+__all__ = ["DEFAULT_SHARD_SIZE", "ShardProgress", "ShardScheduler"]
+
+#: Default points per shard — small enough that progress streams and a crash
+#: costs little rework, large enough that the vectorized executor still sees
+#: whole sampler groups to batch in typical figure grids.
+DEFAULT_SHARD_SIZE = 16
+
+
+class ShardProgress:
+    """Accumulated execution counters across a job's completed shards.
+
+    Mirrors the diagnostic fields of :class:`~repro.engine.SweepOutcome`,
+    summed shard by shard; ``merge`` returns ``self`` so callbacks can read
+    the running totals straight off the object they were handed.
+    """
+
+    def __init__(self, total_points: int, shards_total: int) -> None:
+        self.total_points = total_points
+        self.shards_total = shards_total
+        self.shards_completed = 0
+        self.points_completed = 0
+        self.simulated = 0
+        self.cache_hits = 0
+        self.vectorized_groups = 0
+        self.kernel_points = 0
+        self.fallback_points = 0
+        self.fallback_reasons: dict[str, int] = {}
+
+    def merge(self, outcome: SweepOutcome) -> "ShardProgress":
+        self.shards_completed += 1
+        self.points_completed += len(outcome.results)
+        self.simulated += outcome.simulated
+        self.cache_hits += outcome.cache_hits
+        self.vectorized_groups += outcome.vectorized_groups
+        self.kernel_points += outcome.kernel_points
+        self.fallback_points += outcome.fallback_points
+        for reason, count in outcome.fallback_reasons.items():
+            self.fallback_reasons[reason] = (
+                self.fallback_reasons.get(reason, 0) + count
+            )
+        return self
+
+
+class ShardScheduler:
+    """Split grids across a :class:`SweepRunner` and stream progress.
+
+    Parameters
+    ----------
+    runner:
+        The worker pool (and shared cache) every shard runs through.
+    shard_size:
+        Points per shard; the last shard may be smaller.
+    """
+
+    def __init__(
+        self, runner: SweepRunner, shard_size: int = DEFAULT_SHARD_SIZE
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.runner = runner
+        self.shard_size = shard_size
+
+    def shards(
+        self, configs: Sequence[SimulationConfig]
+    ) -> list[list[SimulationConfig]]:
+        """Slice a grid into submission-order shards."""
+        configs = list(configs)
+        return [
+            configs[start : start + self.shard_size]
+            for start in range(0, len(configs), self.shard_size)
+        ]
+
+    def execute(
+        self,
+        configs: Sequence[SimulationConfig],
+        mode: str,
+        executor: str = "sweep",
+        on_shard: Callable[[ShardProgress], None] | None = None,
+    ) -> tuple[list, ShardProgress]:
+        """Run every shard; returns ``(results in grid order, progress)``.
+
+        ``on_shard`` fires after each shard with the running
+        :class:`ShardProgress` totals — the service persists the job record
+        there.  ``executor`` picks the runner entry point: ``"sweep"``
+        (bitwise, cache-served) or ``"vectorized"`` (routed fast paths).
+        """
+        shards = self.shards(configs)
+        progress = ShardProgress(
+            total_points=sum(len(shard) for shard in shards),
+            shards_total=len(shards),
+        )
+        results: list = []
+        for shard in shards:
+            if executor == "vectorized":
+                outcome = self.runner.run_vectorized(shard)
+            else:
+                outcome = self.runner.run(shard, mode=mode)
+            results.extend(outcome.results)
+            progress.merge(outcome)
+            if on_shard is not None:
+                on_shard(progress)
+        return results, progress

@@ -1,0 +1,199 @@
+"""The sweep service: durable queue + shard scheduler + shared warm cache.
+
+:class:`SweepService` owns one root directory::
+
+    <root>/jobs/     durable JSON job records   (:mod:`repro.service.jobs`)
+    <root>/cache/    the shared ResultCache     (:mod:`repro.engine.cache`)
+    <root>/results/  per-job NPZ payloads       (:mod:`repro.service.results`)
+
+Submissions are validated synchronously (the grid is resolved before a job
+id is minted), persisted as ``queued`` records, and executed by a single
+background worker thread that drains the queue in submission order — each
+job fanning its shards across the runner's *process* pool, so one worker
+thread is not a throughput bottleneck while keeping job execution strictly
+serialized (no two jobs race on the cache or the process pool).
+
+Determinism contract: every point's seed lives in its config (derived from
+grid coordinates at submission time), never in service state — so a job's
+results are bitwise-identical to a library ``SweepRunner.run`` of the same
+grid, regardless of shard size, worker count, restarts, or how warm the
+shared cache is.  Resubmitting a grid therefore replays entirely from the
+cache: zero simulated points, every point a hit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any
+
+from ..engine import ResultCache, SweepRunner
+from .jobs import JobRecord, JobStore
+from .results import save_result_npz
+from .scheduler import DEFAULT_SHARD_SIZE, ShardProgress, ShardScheduler
+from .specs import SweepJobSpec
+
+__all__ = ["SweepService"]
+
+
+class SweepService:
+    """Long-running sweep executor over one durable root directory.
+
+    Parameters
+    ----------
+    root:
+        Service state directory; created (with its ``jobs``/``cache``/
+        ``results`` subdirectories) if missing.  Restarting over the same
+        root resumes pending work.
+    jobs:
+        Worker processes per shard (the :class:`SweepRunner` pool size).
+    shard_size:
+        Grid points per shard — the granularity of streamed progress.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        jobs: int | None = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = JobStore(self.root / "jobs")
+        self.cache = ResultCache(self.root / "cache")
+        self.results_dir = self.root / "results"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.runner = SweepRunner(jobs=jobs, cache=self.cache)
+        self.scheduler = ShardScheduler(self.runner, shard_size=shard_size)
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.recovered = self.store.recover()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: SweepJobSpec) -> JobRecord:
+        """Accept a submission; returns its durable ``queued`` record.
+
+        The spec is resolved eagerly — an unknown grid, a bad override, or
+        an invalid config raises here (``KeyError``/``ValueError``), before
+        any job id is minted, so clients never poll a job that was doomed
+        at submission time.
+        """
+        configs, mode = spec.resolve()
+        with self._lock:
+            record = self.store.create(spec)
+            record.mode = mode
+            record.total_points = len(configs)
+            record.shards_total = len(self.scheduler.shards(configs))
+            self.store.save(record)
+        self._wake.set()
+        return record
+
+    def submit_grid(
+        self, grid: str, overrides: dict[str, Any] | None = None,
+        executor: str = "sweep",
+    ) -> JobRecord:
+        """Convenience wrapper: submit a named grid."""
+        return self.submit(SweepJobSpec.for_grid(grid, overrides, executor))
+
+    # -- queries ------------------------------------------------------------
+
+    def status(self, job_id: str) -> JobRecord | None:
+        return self.store.load(job_id)
+
+    def list_jobs(self) -> list[JobRecord]:
+        return list(self.store)
+
+    def result_path(self, job_id: str) -> Path | None:
+        """Path of a finished job's NPZ payload, or ``None`` if not done."""
+        record = self.store.load(job_id)
+        if record is None or record.status != "done" or not record.result_file:
+            return None
+        path = self.results_dir / record.result_file
+        return path if path.exists() else None
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, record: JobRecord) -> None:
+        record.status = "running"
+        record.started_at = time.time()
+        self.store.save(record)
+
+        def persist(progress: ShardProgress) -> None:
+            record.points_completed = progress.points_completed
+            record.shards_completed = progress.shards_completed
+            record.simulated = progress.simulated
+            record.cache_hits = progress.cache_hits
+            record.vectorized_groups = progress.vectorized_groups
+            record.kernel_points = progress.kernel_points
+            record.fallback_points = progress.fallback_points
+            record.fallback_reasons = dict(progress.fallback_reasons)
+            self.store.save(record)
+
+        try:
+            configs, mode = record.spec.resolve()
+            results, progress = self.scheduler.execute(
+                configs,
+                mode,
+                executor=record.spec.executor,
+                on_shard=persist,
+            )
+            result_file = f"{record.job_id}.npz"
+            save_result_npz(self.results_dir / result_file, results)
+            persist(progress)
+            record.result_file = result_file
+            record.status = "done"
+        except Exception:
+            record.error = traceback.format_exc(limit=8)
+            record.status = "failed"
+        record.finished_at = time.time()
+        self.store.save(record)
+
+    def process_once(self) -> JobRecord | None:
+        """Run the oldest queued job to completion; ``None`` if queue empty."""
+        with self._lock:
+            pending = self.store.pending()
+            if not pending:
+                return None
+            record = pending[0]
+        self._execute(record)
+        return record
+
+    def run_pending(self) -> int:
+        """Drain the queue synchronously; returns how many jobs ran."""
+        count = 0
+        while self.process_once() is not None:
+            count += 1
+        return count
+
+    # -- background worker ---------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background worker thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._wake.set()  # drain anything already queued (or recovered)
+        self._thread = threading.Thread(
+            target=self._worker, name="sweep-service-worker", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Stop the worker after its current job (if any) finishes."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=0.5)
+            self._wake.clear()
+            while not self._stop.is_set() and self.process_once() is not None:
+                pass

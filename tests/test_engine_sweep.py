@@ -98,6 +98,58 @@ class TestResultCache:
         )
         cache.path_for(config, "monte-carlo").write_bytes(b"not an npz file")
         assert cache.load(config, "monte-carlo") is None
+        # the corrupt file is deleted so the rewrite is never shadowed
+        assert not cache.path_for(config, "monte-carlo").exists()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, paper_owner):
+        """A writer killed mid-write leaves a torn NPZ; np.load raises
+        zipfile.BadZipFile on it, which must degrade to a miss, not crash
+        the sweep (regression: BadZipFile escaped the load handler)."""
+        cache = ResultCache(tmp_path)
+        config = SimulationConfig(
+            workstations=2, task_demand=40, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        result = run_simulation(config, "monte-carlo")
+        path = cache.store(config, "monte-carlo", result)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        assert cache.load(config, "monte-carlo") is None
+        assert not path.exists()
+        # the cache recovers: the point stores and replays again
+        cache.store(config, "monte-carlo", result)
+        loaded = cache.load(config, "monte-carlo")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.job_times, result.job_times)
+
+    def test_truncated_entry_resimulates_through_the_runner(
+        self, tmp_path, paper_owner
+    ):
+        config = SimulationConfig(
+            workstations=2, task_demand=40, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        runner = SweepRunner(jobs=1, cache=tmp_path)
+        first = runner.run([config])
+        path = runner.cache.path_for(config, "monte-carlo")
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        second = runner.run([config])
+        assert second.simulated == 1 and second.cache_hits == 0
+        np.testing.assert_array_equal(first[0].job_times, second[0].job_times)
+
+    def test_stale_tmp_files_swept_on_init_and_clear(self, tmp_path, paper_owner):
+        root = tmp_path / "cache"
+        root.mkdir()
+        (root / "deadbeef.tmp").write_bytes(b"crashed writer leftovers")
+        cache = ResultCache(root)
+        assert list(root.glob("*.tmp")) == []
+        config = SimulationConfig(
+            workstations=2, task_demand=40, owner=paper_owner, num_jobs=60, num_batches=4
+        )
+        cache.store(config, "monte-carlo", run_simulation(config, "monte-carlo"))
+        (root / "feedface.tmp").write_bytes(b"more leftovers")
+        assert cache.clear() == 1  # tmp leftovers are swept but not counted
+        assert list(root.glob("*.tmp")) == []
+        assert len(cache) == 0
 
     def test_clear(self, tmp_path, paper_owner):
         cache = ResultCache(tmp_path)
@@ -297,6 +349,45 @@ class TestVectorizedHeterogeneous:
         direct = runner.run([fractional], mode="event-driven")
         assert direct.cache_hits == 1
 
+    def test_cached_sweep_reports_no_phantom_degradations(
+        self, tmp_path, paper_owner
+    ):
+        """A replayed point never executed, so it must not be counted as a
+        kernel point or scalar fallback (regression: the diagnostics were
+        computed before the cache check, so a fully cached sweep still
+        claimed 'N scalar fallbacks')."""
+        from repro.core import JobArrivalSpec, JobClassSpec, ScenarioSpec
+
+        fractional = SimulationConfig(
+            workstations=2, task_demand=10.5, owner=paper_owner,
+            num_jobs=20, num_batches=4, seed=5,
+        )
+        space_shared = SimulationConfig.from_scenario(
+            ScenarioSpec.homogeneous(
+                4,
+                paper_owner,
+                arrivals=JobArrivalSpec.poisson(
+                    rate=0.002,
+                    job_classes=(JobClassSpec("narrow", width=1),),
+                ),
+            ),
+            task_demand=30.0, num_jobs=20, num_batches=4, seed=3,
+        )
+        grid = [fractional, space_shared]
+        runner = SweepRunner(jobs=1, cache=tmp_path / "cache")
+        first = runner.run_vectorized(grid)
+        assert first.kernel_points == 1 and first.fallback_points == 1
+        assert first.fallback_reasons == {
+            "space-shared admission (job classes)": 1,
+        }
+        second = runner.run_vectorized(grid)
+        assert second.cache_hits == 2 and second.simulated == 0
+        assert second.kernel_points == 0
+        assert second.fallback_points == 0
+        assert second.fallback_reasons == {}
+        assert "scalar fallbacks" not in second.summary()
+        assert "kernel-batched" not in second.summary()
+
     def test_kernel_results_are_composition_independent(self, paper_owner):
         """A point's result must not depend on what shares its batch."""
         fractionals = [
@@ -477,10 +568,16 @@ class TestSweepCli:
         # kernel points replay
         assert "3 points (1 simulated, 2 cached)" in out
 
-    def test_vectorized_rejects_unbatchable_backends(self, capsys):
-        args = self.ARGS + ["--vectorized", "--mode", "discrete-time"]
+    @pytest.mark.parametrize("mode", ["discrete-time", "monte-carlo"])
+    def test_vectorized_rejects_explicit_mode(self, capsys, mode):
+        """--mode used to be accepted alongside --vectorized and then
+        silently ignored (run_vectorized takes no mode); now the
+        combination is rejected outright, for every backend name."""
+        args = self.ARGS + ["--no-cache", "--vectorized", "--mode", mode]
         assert main(args) == 2
-        assert "--vectorized supports" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "cannot be combined with --vectorized" in err
+        assert mode in err
 
     def test_profile_prints_cumulative_stats(self, capsys):
         args = self.ARGS + ["--no-cache", "--mode", "event-driven", "--profile", "5"]

@@ -1,0 +1,266 @@
+"""End-to-end tests for the sweep service, its HTTP API and the CLI.
+
+The two contracts the service must never break are pinned here:
+
+* **Bitwise**: a grid submitted over the API produces an NPZ payload equal
+  *byte for byte* to serializing a library ``SweepRunner.run`` of the same
+  grid — seeds derive from grid coordinates, never from service state.
+* **Warm cache**: resubmitting the same grid completes with zero simulated
+  points — every point a hit on the shared result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import SweepRunner, build_grid, grid_mode
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    SweepJobSpec,
+    SweepService,
+    make_server,
+    save_result_npz,
+)
+
+#: A grid small enough for the suite, wide enough to shard (4 points).
+GRID = "fig01"
+OVERRIDES = {
+    "workstation_counts": [2, 5],
+    "utilizations": [0.05, 0.10],
+    "num_jobs": 80,
+    "num_batches": 4,
+}
+
+
+def library_payload_bytes(tmp_path):
+    """What SweepRunner.run of the same grid serializes to."""
+    overrides = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in OVERRIDES.items()
+    }
+    outcome = SweepRunner(jobs=1).run(
+        build_grid(GRID, **overrides), mode=grid_mode(GRID)
+    )
+    return save_result_npz(tmp_path / "library.npz", outcome.results).read_bytes()
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = SweepService(tmp_path / "service", jobs=1, shard_size=2)
+    yield instance
+    instance.stop(timeout=10.0)
+
+
+@pytest.fixture
+def live(service):
+    """The service worker plus its HTTP server on an ephemeral port."""
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    yield service, client
+    server.shutdown()
+    server.server_close()
+
+
+class TestServiceCore:
+    def test_submit_validates_synchronously(self, service):
+        with pytest.raises(KeyError):
+            service.submit_grid("not-a-grid")
+        with pytest.raises(ValueError):
+            service.submit(SweepJobSpec.for_grid(GRID, {"num_jobs": 10}, "warp"))
+        assert len(service.store) == 0  # no doomed job was minted
+
+    def test_failed_job_records_the_error(self, service, monkeypatch):
+        record = service.submit_grid(GRID, OVERRIDES)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("shard executor blew up")
+
+        monkeypatch.setattr(service.scheduler, "execute", explode)
+        service.run_pending()
+        failed = service.status(record.job_id)
+        assert failed is not None
+        assert failed.status == "failed"
+        assert failed.error is not None
+        assert "shard executor blew up" in failed.error
+
+    def test_restart_resumes_interrupted_work(self, tmp_path):
+        root = tmp_path / "service"
+        first = SweepService(root, jobs=1, shard_size=2)
+        record = first.submit_grid(GRID, OVERRIDES)
+        # Simulate a crash mid-job: the record persisted as running, the
+        # process died before finishing.
+        record.status = "running"
+        record.points_completed = 2
+        first.store.save(record)
+
+        second = SweepService(root, jobs=1, shard_size=2)
+        assert [r.job_id for r in second.recovered] == [record.job_id]
+        assert second.run_pending() == 1
+        finished = second.status(record.job_id)
+        assert finished is not None
+        assert finished.status == "done"
+        assert finished.note == "recovered after restart"
+        assert finished.points_completed == finished.total_points == 4
+        second.stop()
+
+
+class TestHTTPEndToEnd:
+    def test_bitwise_pin_and_warm_cache_replay(self, live, tmp_path):
+        service, client = live
+
+        first = client.submit_grid(GRID, OVERRIDES)
+        assert first.status == "queued"
+        assert first.total_points == 4
+        assert first.shards_total == 2
+        first = client.wait(first.job_id)
+        assert first.status == "done"
+        assert first.simulated == 4
+        assert first.cache_hits == 0
+        assert first.points_completed == 4
+
+        # The end-to-end pin: the payload served over HTTP equals, byte for
+        # byte, what a library run of the same grid serializes to.
+        assert client.result_bytes(first.job_id) == library_payload_bytes(tmp_path)
+
+        # Resubmission replays entirely from the shared warm cache.
+        second = client.submit_grid(GRID, OVERRIDES)
+        assert second.job_id != first.job_id
+        second = client.wait(second.job_id)
+        assert second.status == "done"
+        assert second.simulated == 0
+        assert second.cache_hits == second.total_points == 4
+        assert client.result_bytes(second.job_id) == client.result_bytes(
+            first.job_id
+        )
+
+    def test_points_submission_round_trip(self, live):
+        _, client = live
+        points = build_grid(GRID, num_jobs=40, workstation_counts=(2,))[:2]
+        record = client.wait(
+            client.submit_points(points, mode=grid_mode(GRID)).job_id
+        )
+        assert record.status == "done"
+        arrays = client.result_arrays(record.job_id)
+        lone = SweepRunner(jobs=1).run(points, mode=grid_mode(GRID))
+        np.testing.assert_array_equal(
+            arrays["point00000/job_times"], lone.results[0].job_times
+        )
+        np.testing.assert_array_equal(
+            arrays["point00001/job_times"], lone.results[1].job_times
+        )
+
+    def test_health_and_job_listing(self, live):
+        _, client = live
+        health = client.health()
+        assert health["status"] == "ok"
+        record = client.wait(
+            client.submit_grid(GRID, dict(OVERRIDES, num_jobs=40)).job_id
+        )
+        assert record.job_id in [r.job_id for r in client.jobs()]
+        assert client.health()["cache_entries"] == 4
+
+    def test_error_answers(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as bad_grid:
+            client.submit_grid("not-a-grid")
+        assert bad_grid.value.status == 400
+        assert "not-a-grid" in bad_grid.value.message
+
+        with pytest.raises(ServiceError) as unknown:
+            client.status("job-999999-deadbeef")
+        assert unknown.value.status == 404
+
+        with pytest.raises(ServiceError) as no_route:
+            client._request_json("/nonsense")
+        assert no_route.value.status == 404
+
+    def test_result_before_done_is_a_conflict(self, service):
+        # Server up, but the worker thread deliberately not started: the
+        # job stays queued, so its result must answer 409, not bytes.
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            record = client.submit_grid(GRID, OVERRIDES)
+            with pytest.raises(ServiceError) as conflict:
+                client.result_bytes(record.job_id)
+            assert conflict.value.status == 409
+            assert "queued" in conflict.value.message
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestServiceCLI:
+    def test_submit_status_result_subcommands(self, live, tmp_path, capsys):
+        _, client = live
+        url = client.base_url
+
+        assert (
+            main(
+                [
+                    "submit", GRID, "--url", url, "--wait",
+                    "--workstations", "2,5", "--utilizations", "0.05,0.10",
+                    "--num-jobs", "40",
+                ]
+            )
+            == 0
+        )
+        submitted = json.loads(capsys.readouterr().out)
+        assert submitted["status"] == "done"
+        job_id = submitted["job_id"]
+
+        assert main(["status", job_id, "--url", url]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "done"
+
+        assert main(["status", "--url", url]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert job_id in [record["job_id"] for record in listing["jobs"]]
+
+        out_path = tmp_path / "payload.npz"
+        assert main(["result", job_id, "--url", url, "-o", str(out_path)]) == 0
+        capsys.readouterr()
+        assert out_path.read_bytes() == client.result_bytes(job_id)
+
+    def test_cli_errors_exit_2(self, live, capsys):
+        _, client = live
+        url = client.base_url
+        assert main(["submit", "not-a-grid", "--url", url]) == 2
+        assert "not-a-grid" in capsys.readouterr().err
+        assert main(["status", "job-999999-deadbeef", "--url", url]) == 2
+        assert "404" in capsys.readouterr().err
+        assert main(["status", "--wait", "--url", url]) == 2
+        assert "needs a job id" in capsys.readouterr().err
+        # No service at all: connection errors are a clean exit 2, not a
+        # traceback.
+        assert main(["status", "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_result_of_unfinished_job_exits_1(self, service, capsys):
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{server.server_address[1]}"
+            record_main = main(
+                ["submit", GRID, "--url", url, "--num-jobs", "40"]
+            )
+            assert record_main == 0
+            job_id = json.loads(capsys.readouterr().out)["job_id"]
+            assert main(["result", job_id, "--url", url, "-o", "unused.npz"]) == 1
+            assert "queued" in capsys.readouterr().err
+        finally:
+            server.shutdown()
+            server.server_close()
