@@ -18,6 +18,7 @@ from ..cluster.policies import make_policy
 from ..cluster.workstation import Workstation
 from ..core.params import ScenarioSpec, StationSpec
 from ..desim import Environment
+from ..obs import get_sim_tap
 from ..stats import batch_means_interval
 from .base import (
     BackendCapabilities,
@@ -68,12 +69,17 @@ class EventDrivenClusterSimulator(SimulationBackend):
     )
 
     def _build_cluster(self, env: Environment) -> list[Workstation]:
+        # Wire the process's installed sim-event tap (if any) into each
+        # station's bare hook — the cluster layer never imports repro.obs.
+        tap = get_sim_tap()
         stations = []
         for w, spec in enumerate(self.config.effective_scenario.stations):
             behavior = _station_behavior(spec)
             station = Workstation(
                 env, w, behavior, self._streams.stream(f"owner-{w}")
             )
+            if tap is not None:
+                station.tap = tap.record
             station.start_owner()
             stations.append(station)
         return stations

@@ -53,6 +53,16 @@ served entirely from the cache)::
     repro-experiments status                # all jobs
     repro-experiments status job-000001-200c7537 --wait
     repro-experiments result job-000001-200c7537 -o fig01.npz
+
+Observe it: trace a sweep to a Chrome/Perfetto timeline (bitwise-identical
+results — spans are pure observers), dump or scrape the metrics registry,
+convert a raw span log from a traced service::
+
+    repro-experiments sweep fig01 --trace fig01-trace.json
+    repro-experiments metrics                 # this process's registry
+    repro-experiments metrics --url http://127.0.0.1:8321   # scrape a service
+    repro-experiments serve --trace service-spans.jsonl
+    repro-experiments trace-export service-spans.jsonl -o service-trace.json
 """
 
 from __future__ import annotations
@@ -256,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
             "event kernel (bitwise-equal to the scalar path, cache-aware)"
         ),
     )
+    sweep_parser.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help=(
+            "record structured spans (one per shard and per point) and "
+            "write a Chrome/Perfetto trace-event JSON timeline; the raw "
+            "span log lands next to it as OUT.json.jsonl.  Spans are pure "
+            "observers — results stay bitwise-identical to an untraced run"
+        ),
+    )
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -318,6 +337,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    serve_parser.add_argument(
+        "--trace", default=None, metavar="SPANS.jsonl",
+        help=(
+            "append structured job/shard/point spans to this JSONL file "
+            "while serving; convert to a Chrome/Perfetto timeline later "
+            "with 'trace-export'"
+        ),
+    )
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help=(
+            "dump the metrics registry as Prometheus exposition text — "
+            "this process's registry, or a running service's via --url"
+        ),
+    )
+    metrics_parser.add_argument(
+        "--url", default=None,
+        help="scrape GET /metrics of a running service instead",
+    )
+
+    export_parser = subparsers.add_parser(
+        "trace-export",
+        help="convert a JSONL span log to Chrome/Perfetto trace-event JSON",
+    )
+    export_parser.add_argument(
+        "trace_file", help="JSONL span log (from 'serve --trace' or a Tracer)"
+    )
+    export_parser.add_argument(
+        "-o", "--output", required=True,
+        help="path for the Chrome trace-event JSON",
     )
 
     submit_parser = subparsers.add_parser(
@@ -425,6 +476,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "sweep":
         try:
             configs = build_grid(args.grid, **_grid_overrides(args))
+            if args.trace and args.profile is not None:
+                raise ValueError(
+                    "--trace cannot be combined with --profile: the traced "
+                    "path runs shard by shard (per-shard spans) and the "
+                    "shard scheduler does not thread profiling through; "
+                    "trace or profile, one at a time"
+                )
             if args.vectorized and args.mode is not None:
                 # run_vectorized takes no mode: it routes each point itself
                 # (sampler batch / event kernel / scalar fallback), so a
@@ -444,6 +502,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (KeyError, ValueError) as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        if args.trace:
+            import os as _os
+
+            from .obs import configure_tracing, disable_tracing, export_chrome_trace
+            from .service.scheduler import ShardScheduler
+
+            jsonl_path = f"{args.trace}.jsonl"
+            try:
+                _os.unlink(jsonl_path)  # fresh span log per run
+            except FileNotFoundError:
+                pass
+            configure_tracing(jsonl_path)
+            try:
+                # Shard the traced grid (one span per shard, one per point).
+                # Sharding is bitwise-free: every point's seed lives in its
+                # config, so the results equal an unsharded, untraced run.
+                results, progress = ShardScheduler(runner).execute(
+                    configs,
+                    mode,
+                    executor="vectorized" if args.vectorized else "sweep",
+                )
+            finally:
+                disable_tracing()
+            for result in results:
+                print(result.summary())
+            print(
+                f"sweep {args.grid}: {len(results)} points "
+                f"({progress.simulated} simulated, {progress.cache_hits} "
+                f"cached) across {progress.shards_total} shards"
+            )
+            if runner.cache is not None:
+                print(f"cache: {len(runner.cache)} entries in {runner.cache.root}")
+            count = export_chrome_trace(jsonl_path, args.trace)
+            print(f"trace: {count} events -> {args.trace} (raw spans: {jsonl_path})")
+            return 0
         profiling = args.profile is not None
         outcome = (
             runner.run_vectorized(configs, profile=profiling)
@@ -478,6 +571,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         sys.stdout.write(format_findings(findings, args.report_format))
         return 1 if findings else 0
 
+    if args.command == "metrics":
+        if args.url:
+            from .service import ServiceClient, ServiceError
+
+            try:
+                sys.stdout.write(ServiceClient(args.url).metrics_text())
+            except (ServiceError, OSError) as exc:
+                print(
+                    f"cannot scrape {args.url}/metrics: {exc}", file=sys.stderr
+                )
+                return 2
+        else:
+            from .obs import REGISTRY, render_prometheus
+
+            sys.stdout.write(render_prometheus(REGISTRY))
+        return 0
+
+    if args.command == "trace-export":
+        from .obs import export_chrome_trace
+
+        try:
+            count = export_chrome_trace(args.trace_file, args.output)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"wrote {count} trace events to {args.output}")
+        return 0
+
     if args.command == "serve":
         from .service import SweepService, serve_forever
 
@@ -488,6 +609,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, ValueError) as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        if args.trace:
+            from .obs import configure_tracing
+
+            configure_tracing(args.trace)
+            print(f"tracing spans to {args.trace}")
         if service.recovered:
             recovered = ", ".join(r.job_id for r in service.recovered)
             print(f"re-queued after restart: {recovered}")
@@ -508,13 +634,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .service import ServiceClient, ServiceError
 
         client = ServiceClient(args.url)
+
+        def _print_progress(record) -> None:
+            eta = (
+                f", eta {record.eta_seconds:.1f}s"
+                if record.eta_seconds is not None
+                else ""
+            )
+            print(
+                f"{record.job_id}: {record.status} "
+                f"{record.points_completed}/{record.total_points} points"
+                f"{eta}",
+                file=sys.stderr,
+            )
+
         try:
             if args.command == "submit":
                 record = client.submit_grid(
                     args.grid, _grid_overrides(args), executor=args.executor
                 )
                 if args.wait:
-                    record = client.wait(record.job_id, timeout=args.timeout)
+                    record = client.wait(
+                        record.job_id,
+                        timeout=args.timeout,
+                        on_progress=_print_progress,
+                    )
             elif args.command == "status":
                 if args.job_id is None:
                     if args.wait:
@@ -529,7 +673,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                     )
                     return 0
                 record = (
-                    client.wait(args.job_id, timeout=args.timeout)
+                    client.wait(
+                        args.job_id,
+                        timeout=args.timeout,
+                        on_progress=_print_progress,
+                    )
                     if args.wait
                     else client.status(args.job_id)
                 )

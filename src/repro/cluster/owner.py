@@ -11,7 +11,7 @@ to arbitrary variates so the simulator can also explore the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 import numpy as np
 
@@ -147,6 +147,8 @@ def owner_process(
     behavior: OwnerBehavior,
     rng: np.random.Generator,
     busy_monitor=None,
+    tap: Callable[..., None] | None = None,
+    station: int = 0,
 ) -> Generator:
     """Simulation process for one workstation owner (event-driven mode).
 
@@ -156,6 +158,12 @@ def owner_process(
     :class:`~repro.desim.TimeWeightedMonitor`) records the owner's busy signal
     so the simulation can report the *measured* utilization alongside the
     nominal one.
+
+    ``tap`` is the generic observer hook (see
+    :class:`~repro.cluster.workstation.Workstation`): called as
+    ``tap("owner-arrival", now, station=..., demand=...)`` whenever the owner
+    wakes with real demand.  Observer-only — it draws no randomness and
+    changes no event ordering.
     """
     if behavior.is_idle:
         return
@@ -167,6 +175,8 @@ def owner_process(
         demand = max(0.0, behavior.demand.sample(rng))
         if demand == 0.0:
             continue
+        if tap is not None:
+            tap("owner-arrival", env.now, station=station, demand=demand)
         with cpu.request(priority=OWNER_PRIORITY) as req:
             yield req
             if busy_monitor is not None:

@@ -37,8 +37,30 @@ from ..backends import (
     SimulationResult,
     get_backend,
 )
+from ..obs import REGISTRY
 
 __all__ = ["CACHE_VERSION", "SCHEMA_HISTORY", "config_fingerprint", "ResultCache"]
+
+# Cache observability: counted in whichever process performs the cache I/O —
+# the sweep parent (and therefore the service process), since SweepRunner
+# checks the cache before fanning work out to its pool.
+_CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total", "Result-cache lookups served from disk"
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total",
+    "Result-cache lookups that found no (usable) entry",
+)
+_CACHE_CORRUPT = REGISTRY.counter(
+    "repro_cache_corrupt_evictions_total",
+    "Cache entries deleted because they were corrupt or unreadable",
+)
+_CACHE_STORES = REGISTRY.counter(
+    "repro_cache_stores_total", "Completed points persisted to the cache"
+)
+_CACHE_STORE_BYTES = REGISTRY.counter(
+    "repro_cache_store_bytes_total", "Compressed NPZ bytes written to the cache"
+)
 
 #: The fingerprint schema changelog, one ``(version, what changed and why)``
 #: entry per schema, oldest first.  Append an entry whenever the on-disk
@@ -267,17 +289,22 @@ class ResultCache:
         backend = get_backend(mode)
         path = self.path_for(config, mode)
         if not path.exists():
+            _CACHE_MISSES.inc()
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 arrays = {key: np.asarray(data[key]) for key in data.files}
-            return backend.deserialize_result(config, arrays)
+            result = backend.deserialize_result(config, arrays)
         except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
             try:
                 path.unlink()
             except OSError:
                 pass
+            _CACHE_CORRUPT.inc()
+            _CACHE_MISSES.inc()
             return None
+        _CACHE_HITS.inc()
+        return result
 
     def store(
         self,
@@ -301,6 +328,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        _CACHE_STORES.inc()
+        try:
+            _CACHE_STORE_BYTES.inc(path.stat().st_size)
+        except OSError:  # pragma: no cover - racing deletion only
+            pass
         return path
 
     def clear(self) -> int:

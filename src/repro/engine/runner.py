@@ -13,6 +13,15 @@ Determinism: each point carries its own seed and every backend builds its
 random streams from that seed alone (via
 :class:`~repro.desim.StreamRegistry`), so the results are bitwise-identical
 whether a sweep runs serially, across processes, or partially from cache.
+
+Observability: every execution path is instrumented through
+:mod:`repro.obs` — per-path point counters and a per-point latency histogram
+in the process-global metrics registry, and (when tracing is configured)
+one ``sweep`` span per run with one ``point`` span per executed point,
+emitted *inside* the worker that ran it (the trace path travels in the work
+item, so pool workers append to the same trace file).  All of it is
+observer-only: a traced, metric-counted run is bitwise-identical to a bare
+one.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from ..backends import (
 )
 from ..core.params import STATIC_POLICY
 from ..kernel.backend import kernel_blocker
+from ..obs import REGISTRY, active_trace_path, configure_tracing, trace_span
 
 #: Either flavour of completed simulation point (closed or open system).
 PointResult = SimulationResult | OpenSystemResult
@@ -51,6 +61,34 @@ __all__ = [
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+# Sweep observability (counted in the parent process, which owns the cache
+# and collects every worker's measurements — the registry of a pool worker
+# dies with the worker and is never scraped).
+_POINTS = REGISTRY.counter(
+    "repro_sweep_points_total",
+    "Sweep points by execution path, counted per run "
+    "(simulated / cached / kernel-batched / sampler-batched / fallback)",
+    ("path",),
+)
+_FALLBACKS = REGISTRY.counter(
+    "repro_sweep_fallbacks_total",
+    "Vectorized-path points that degraded to a scalar backend, by reason",
+    ("reason",),
+)
+_POINT_SECONDS = REGISTRY.histogram(
+    "repro_sweep_point_seconds",
+    "Wall-clock seconds per individually executed point (measured in its "
+    "worker, observed by the parent)",
+)
+_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_sweep_batch_seconds",
+    "Wall-clock seconds per in-process batched pass",
+    ("path",),
+)
+_SWEEPS = REGISTRY.counter(
+    "repro_sweeps_total", "Sweep executions by entry point", ("entry",)
+)
+
 
 def resolve_jobs(jobs: int | None) -> int:
     """Normalise a worker-count request (``None`` means one per CPU)."""
@@ -62,7 +100,7 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _simulate_point(item: tuple[SimulationConfig, str]) -> PointResult:
-    """Top-level worker entry point (must be picklable for the process pool).
+    """Bare backend dispatch for one point (no instrumentation).
 
     Dispatches through the backend registry.  Workers see every backend
     registered at import time of its defining module; a backend registered
@@ -74,27 +112,46 @@ def _simulate_point(item: tuple[SimulationConfig, str]) -> PointResult:
     return get_backend(mode)(config).run()
 
 
-def _profiled_simulate_point(
-    item: tuple[SimulationConfig, str]
-) -> tuple[PointResult, dict]:
-    """Worker entry point wrapping :func:`_simulate_point` in ``cProfile``.
+#: One unit of sweep work: ``(config, mode, profile?, trace file or None)``.
+_PointTask = tuple[SimulationConfig, str, bool, str | None]
 
-    Returns the result *plus* the profiler's raw ``stats`` dict — plain
-    tuples and numbers, so it pickles back across the process pool where the
-    live :class:`cProfile.Profile` object would not.  The parent merges the
-    per-worker dicts via :func:`merge_profile_stats`.
 
-    Caveat on the merged output: points whose policy throws interrupts into
-    suspended generators (``gen.throw`` unwinds frames the C profiler then
-    pops past) lose their synthetic top-of-stack rows — ``_simulate_point``
-    under-counts relative to ``simulated``.  The hot-path rows themselves
-    (desim stepping, resource churn) keep correct counts and cumulative
-    times, which is what the report is for.
+def _execute_point(task: _PointTask) -> tuple[PointResult, float, dict | None]:
+    """Top-level worker entry point (must be picklable for the process pool).
+
+    Returns ``(result, elapsed_seconds, profile stats dict or None)`` — the
+    elapsed wall time is measured here, in the worker, so the parent can
+    observe true per-point latencies into the histogram even when points run
+    remotely.  With a trace path in the task, the worker adopts the parent's
+    trace file and emits this point's span itself (pid/tid identify it).
+
+    Caveat on the merged profile output: points whose policy throws
+    interrupts into suspended generators (``gen.throw`` unwinds frames the C
+    profiler then pops past) lose their synthetic top-of-stack rows —
+    ``_simulate_point`` under-counts relative to ``simulated``.  The hot-path
+    rows themselves (desim stepping, resource churn) keep correct counts and
+    cumulative times, which is what the report is for.
     """
-    profiler = cProfile.Profile()
-    result = profiler.runcall(_simulate_point, item)
-    profiler.create_stats()
-    return result, profiler.stats
+    config, mode, profile, trace_path = task
+    if trace_path is not None:
+        configure_tracing(trace_path)
+    stats: dict | None = None
+    started = time.perf_counter()
+    with trace_span(
+        "point",
+        mode=mode,
+        workstations=int(config.workstations),
+        task_demand=float(config.task_demand),
+        seed=int(config.seed),
+    ):
+        if profile:
+            profiler = cProfile.Profile()
+            result = profiler.runcall(_simulate_point, (config, mode))
+            profiler.create_stats()
+            stats = profiler.stats
+        else:
+            result = _simulate_point((config, mode))
+    return result, time.perf_counter() - started, stats
 
 
 class _ProfileCarrier:
@@ -115,8 +172,10 @@ class _ProfileCarrier:
 def merge_profile_stats(stats_dicts: Iterable[dict]) -> pstats.Stats | None:
     """Fold per-worker ``cProfile`` stats dicts into one :class:`pstats.Stats`.
 
-    Returns ``None`` when nothing was profiled (e.g. every point replayed
-    from the cache).
+    Returns ``None`` when nothing was profiled — no dicts at all, or only
+    empty ones (``pstats.Stats`` refuses to construct from an empty stats
+    dict, so filtering here is what keeps a fully-cached profiled replay
+    from raising instead of reporting "no samples").
     """
     carriers = [_ProfileCarrier(stats) for stats in stats_dicts if stats]
     if not carriers:
@@ -214,11 +273,15 @@ class SweepOutcome:
         """Top-``top`` cumulative-time profile lines merged across workers.
 
         Only populated when the sweep ran with ``profile=True``; returns a
-        one-line note otherwise (every point may also have replayed from the
-        cache, in which case nothing executed and nothing was profiled).
+        one-line "no profile collected" note otherwise.  An outcome with
+        zero executed points (a fully-cached replay) has no samples even
+        when profiling was requested — that is a note too, never an error.
         """
-        if self.profile is None:
-            return "no profile collected (profiling off or no point simulated)\n"
+        if self.profile is None or not getattr(self.profile, "stats", None):
+            return (
+                "no profile collected (profiling off or no point executed "
+                "this run — e.g. a fully-cached replay)\n"
+            )
         stream = io.StringIO()
         self.profile.stream = stream
         self.profile.sort_stats("cumulative").print_stats(top)
@@ -352,34 +415,42 @@ class SweepRunner:
         started = time.perf_counter()
         results: list[PointResult | None] = [None] * len(configs)
 
-        pending: list[tuple[int, SimulationConfig]] = []
-        cache_hits = 0
-        if self.cache is not None:
-            for index, config in enumerate(configs):
-                cached = self.cache.load(config, mode)
-                if cached is None:
-                    pending.append((index, config))
-                else:
-                    results[index] = cached
-                    cache_hits += 1
-        else:
-            pending = list(enumerate(configs))
-
-        worker = _profiled_simulate_point if profile else _simulate_point
-        fresh = parallel_map(
-            worker,
-            [(config, mode) for _, config in pending],
-            jobs=self.jobs,
-        )
         profiles: list[dict] = []
-        if profile:
-            profiles = [stats for _, stats in fresh]
-            fresh = [result for result, _ in fresh]
-        for (index, config), result in zip(pending, fresh):
-            results[index] = result
+        with trace_span(
+            "sweep", entry="run", mode=mode, points=len(configs), jobs=self.jobs
+        ):
+            pending: list[tuple[int, SimulationConfig]] = []
+            cache_hits = 0
             if self.cache is not None:
-                self.cache.store(config, mode, result)
+                for index, config in enumerate(configs):
+                    cached = self.cache.load(config, mode)
+                    if cached is None:
+                        pending.append((index, config))
+                    else:
+                        results[index] = cached
+                        cache_hits += 1
+            else:
+                pending = list(enumerate(configs))
 
+            trace_path = active_trace_path()
+            executed = parallel_map(
+                _execute_point,
+                [(config, mode, profile, trace_path) for _, config in pending],
+                jobs=self.jobs,
+            )
+            for (index, config), (result, elapsed, stats) in zip(
+                pending, executed
+            ):
+                results[index] = result
+                _POINT_SECONDS.observe(elapsed)
+                if stats:
+                    profiles.append(stats)
+                if self.cache is not None:
+                    self.cache.store(config, mode, result)
+
+        _SWEEPS.labels(entry="run").inc()
+        _POINTS.labels(path="simulated").inc(len(pending))
+        _POINTS.labels(path="cached").inc(cache_hits)
         return SweepOutcome(
             results=[r for r in results if r is not None],
             mode=mode,
@@ -464,71 +535,108 @@ class SweepRunner:
                 kernel_batch.append((index, config))
                 continue
             fallbacks.append((index, config, _fallback_mode(config), blocker))
-        cache_hits = 0
-        pending = fallbacks
-        kernel_pending = kernel_batch
-        if self.cache is not None:
-            pending = []
-            for index, config, fallback_mode, blocker in fallbacks:
-                cached = self.cache.load(config, fallback_mode)
-                if cached is None:
-                    pending.append((index, config, fallback_mode, blocker))
-                else:
-                    results[index] = cached
-                    cache_hits += 1
-            kernel_pending = []
-            for index, config in kernel_batch:
-                cached = self.cache.load(config, _KERNEL_MODE)
-                if cached is None:
-                    kernel_pending.append((index, config))
-                else:
-                    results[index] = cached
-                    cache_hits += 1
-        # Diagnostics count what actually *executed* this run: a point that
-        # replayed from the cache never fell back to a scalar backend nor
-        # entered a kernel batch, so a fully cached sweep reports zero of
-        # both instead of phantom degradations.
-        fallback_reasons: dict[str, int] = {}
-        for _, _, _, blocker in pending:
-            fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
-        worker = _profiled_simulate_point if profile else _simulate_point
-        fallen_back = parallel_map(
-            worker,
-            [(config, mode) for _, config, mode, _ in pending],
-            jobs=self.jobs,
-        )
         profiles: list[dict] = []
-        if profile:
-            profiles = [stats for _, stats in fallen_back]
-            fallen_back = [result for result, _ in fallen_back]
-        for (index, config, fallback_mode, _), result in zip(pending, fallen_back):
-            results[index] = result
+        with trace_span(
+            "sweep", entry="vectorized", points=len(configs), jobs=self.jobs
+        ):
+            cache_hits = 0
+            pending = fallbacks
+            kernel_pending = kernel_batch
             if self.cache is not None:
-                self.cache.store(config, fallback_mode, result)
-        batch_profiler = cProfile.Profile() if profile else None
-        if kernel_pending:
-            backend = get_backend(_KERNEL_MODE)
-            kernel_configs = [config for _, config in kernel_pending]
-            if batch_profiler is not None:
-                batch = batch_profiler.runcall(backend.run_batch, kernel_configs)
-            else:
-                batch = backend.run_batch(kernel_configs)
-            for (index, config), result in zip(kernel_pending, batch):
+                pending = []
+                for index, config, fallback_mode, blocker in fallbacks:
+                    cached = self.cache.load(config, fallback_mode)
+                    if cached is None:
+                        pending.append((index, config, fallback_mode, blocker))
+                    else:
+                        results[index] = cached
+                        cache_hits += 1
+                kernel_pending = []
+                for index, config in kernel_batch:
+                    cached = self.cache.load(config, _KERNEL_MODE)
+                    if cached is None:
+                        kernel_pending.append((index, config))
+                    else:
+                        results[index] = cached
+                        cache_hits += 1
+            # Diagnostics count what actually *executed* this run: a point
+            # that replayed from the cache never fell back to a scalar
+            # backend nor entered a kernel batch, so a fully cached sweep
+            # reports zero of both instead of phantom degradations.
+            fallback_reasons: dict[str, int] = {}
+            for _, _, _, blocker in pending:
+                fallback_reasons[blocker] = fallback_reasons.get(blocker, 0) + 1
+            trace_path = active_trace_path()
+            fallen_back = parallel_map(
+                _execute_point,
+                [
+                    (config, mode, profile, trace_path)
+                    for _, config, mode, _ in pending
+                ],
+                jobs=self.jobs,
+            )
+            for (index, config, fallback_mode, _), (result, elapsed, stats) in zip(
+                pending, fallen_back
+            ):
                 results[index] = result
+                _POINT_SECONDS.observe(elapsed)
+                if stats:
+                    profiles.append(stats)
                 if self.cache is not None:
-                    self.cache.store(config, _KERNEL_MODE, result)
-        for indices in groups.values():
-            backend = get_backend(_BATCH_MODE)
-            group_configs = [configs[i] for i in indices]
-            if batch_profiler is not None:
-                batch = batch_profiler.runcall(backend.run_batch, group_configs)
-            else:
-                batch = backend.run_batch(group_configs)
-            for index, result in zip(indices, batch):
-                results[index] = result
-        if batch_profiler is not None and (kernel_pending or groups):
-            batch_profiler.create_stats()
-            profiles.append(batch_profiler.stats)
+                    self.cache.store(config, fallback_mode, result)
+            batch_profiler = cProfile.Profile() if profile else None
+            if kernel_pending:
+                backend = get_backend(_KERNEL_MODE)
+                kernel_configs = [config for _, config in kernel_pending]
+                batch_started = time.perf_counter()
+                with trace_span(
+                    "kernel-batch", entry="vectorized", points=len(kernel_configs)
+                ):
+                    if batch_profiler is not None:
+                        batch = batch_profiler.runcall(
+                            backend.run_batch, kernel_configs
+                        )
+                    else:
+                        batch = backend.run_batch(kernel_configs)
+                _BATCH_SECONDS.labels(path="kernel").observe(
+                    time.perf_counter() - batch_started
+                )
+                for (index, config), result in zip(kernel_pending, batch):
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.store(config, _KERNEL_MODE, result)
+            sampled_points = 0
+            for indices in groups.values():
+                backend = get_backend(_BATCH_MODE)
+                group_configs = [configs[i] for i in indices]
+                sampled_points += len(group_configs)
+                batch_started = time.perf_counter()
+                with trace_span(
+                    "sampler-group", entry="vectorized", points=len(group_configs)
+                ):
+                    if batch_profiler is not None:
+                        batch = batch_profiler.runcall(
+                            backend.run_batch, group_configs
+                        )
+                    else:
+                        batch = backend.run_batch(group_configs)
+                _BATCH_SECONDS.labels(path="sampler").observe(
+                    time.perf_counter() - batch_started
+                )
+                for index, result in zip(indices, batch):
+                    results[index] = result
+            if batch_profiler is not None and (kernel_pending or groups):
+                batch_profiler.create_stats()
+                profiles.append(batch_profiler.stats)
+
+        _SWEEPS.labels(entry="vectorized").inc()
+        _POINTS.labels(path="simulated").inc(len(configs) - cache_hits)
+        _POINTS.labels(path="cached").inc(cache_hits)
+        _POINTS.labels(path="kernel-batched").inc(len(kernel_pending))
+        _POINTS.labels(path="sampler-batched").inc(sampled_points)
+        _POINTS.labels(path="fallback").inc(len(pending))
+        for reason, count in fallback_reasons.items():
+            _FALLBACKS.labels(reason=reason).inc(count)
         return SweepOutcome(
             results=[r for r in results if r is not None],
             mode="monte-carlo" if not (fallbacks or kernel_batch) else "mixed",

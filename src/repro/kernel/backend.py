@@ -34,6 +34,7 @@ from ..backends.base import (
     register_backend,
 )
 from ..backends.open_system import OpenSystemResult
+from ..obs import get_sim_tap
 from ..stats import batch_means_interval
 from .machine import KERNEL_POLICIES, EventKernel
 
@@ -73,6 +74,11 @@ class EventKernelBackend(SimulationBackend):
         return self._run_with(EventKernel())
 
     def _run_with(self, kernel: EventKernel):
+        # Wire the process's installed sim-event tap (if any) into the
+        # kernel's bare hook — the kernel itself never imports repro.obs.
+        tap = get_sim_tap()
+        if tap is not None:
+            kernel.tap = tap.record
         cfg = self.config
         blocker = kernel_blocker(cfg)
         if blocker is not None:

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
+from typing import Callable
 
 import numpy as np
 
@@ -198,12 +199,21 @@ class EventKernel:
     shared across grid points (cross-point batching) with every point still
     drawing from its own freshly seeded :class:`StreamRegistry` — results
     are independent of batch composition.
+
+    ``tap`` is the generic observer hook (``None`` by default): any callable
+    ``tap(kind, sim_time, **details)``, invoked at each scheduling decision
+    (owner arrivals, preemptions, migrations, open-system admissions).  The
+    kernel never imports the telemetry layer — the backend wires an
+    installed :class:`repro.obs.SimEventTap` in (lint rule SL007 enforces
+    the direction).  Taps observe only: they draw no randomness and reorder
+    no events, so a tapped run stays bitwise-identical.
     """
 
-    __slots__ = ("_heap",)
+    __slots__ = ("_heap", "tap")
 
     def __init__(self) -> None:
         self._heap: list[tuple] = []
+        self.tap: Callable[..., None] | None = None
 
     # -- public entry points -------------------------------------------------
     def run_closed(
@@ -247,6 +257,7 @@ class EventKernel:
         heap.clear()
         tie = 0
         now = 0.0
+        tap = self.tap  # observer hook, hoisted off the hot path
 
         # Per-station owner + CPU state (parallel lists indexed by station).
         think_v: list = [None] * workstations
@@ -449,6 +460,15 @@ class EventKernel:
                 active[cur] -= 1
                 active[best] += 1
                 t.station = best
+                if tap is not None:
+                    tap(
+                        "task-migrated",
+                        now,
+                        job=t.job.index,
+                        source=cur,
+                        target=best,
+                        remaining=t.remaining,
+                    )
             t.rec_start = now
             request_cpu(t)
 
@@ -498,6 +518,8 @@ class EventKernel:
                         tie += 1
                     continue
                 owner_pending[w] = demand
+                if tap is not None:
+                    tap("owner-arrival", now, station=w, demand=demand)
                 h = holder[w]
                 if h is not None:
                     # Preempt the task holder: the oracle enqueues the
@@ -543,6 +565,14 @@ class EventKernel:
                 if t.started is not None:
                     t.remaining -= now - t.started
                     t.started = None
+                if tap is not None:
+                    tap(
+                        "task-preempted",
+                        now,
+                        job=t.job.index,
+                        station=t.station,
+                        remaining=t.remaining,
+                    )
                 tie += 1  # Release of the interrupted request (no-op pop)
                 if role == _ROLE_ITEM:
                     end_attempt(t)  # per-step record: always ends here
@@ -631,11 +661,20 @@ class EventKernel:
                         tie += 1
                     else:
                         admit_queue.append(job)
+                        if tap is not None:
+                            tap(
+                                "job-queued",
+                                now,
+                                job=job.index,
+                                queue_depth=len(admit_queue),
+                            )
                 else:
                     job.start = now
                     start_job(job, job_demand)
             elif kind == _ADMIT_GRANT:
                 job = entry[4]
+                if tap is not None:
+                    tap("job-admitted", now, job=job.index)
                 start_times[job.index] = now
                 job.start = now
                 start_job(job, job.demand)

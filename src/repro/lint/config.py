@@ -67,6 +67,16 @@ class LintConfig:
         The desim module suffixes the kernel may import — the shared RNG
         layer that the bitwise-pinning contract requires both executors to
         draw through; everything else in desim is generator machinery.
+    telemetry_forbidden_packages:
+        Path fragments of the bitwise-pinned hot loops SL007 guards: these
+        may neither import the telemetry layer nor read the wall clock
+        (they expose bare ``tap`` hooks instead; the backends wire
+        ``repro.obs`` in from outside).
+    telemetry_module:
+        Package segment naming the telemetry layer (``obs``).
+    telemetry_wallclock_names:
+        ``time.<name>()`` calls SL007 flags inside the guarded packages —
+        simulation cores advance simulated time only.
     """
 
     select: tuple[str, ...] = ()
@@ -107,6 +117,23 @@ class LintConfig:
     # SL006
     kernel_packages: tuple[str, ...] = ("src/repro/kernel",)
     kernel_allowed_desim_modules: tuple[str, ...] = ("desim.rng",)
+    # SL007
+    telemetry_forbidden_packages: tuple[str, ...] = (
+        "src/repro/desim",
+        "src/repro/kernel/agenda.py",
+        "src/repro/kernel/machine.py",
+        "src/repro/cluster",
+    )
+    telemetry_module: str = "obs"
+    telemetry_wallclock_names: tuple[str, ...] = (
+        "time",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "thread_time",
+    )
 
     def with_overrides(self, **overrides: object) -> "LintConfig":
         """Copy with the given fields replaced (unknown names rejected)."""
@@ -172,6 +199,7 @@ def load_config(start: Path | str | None = None) -> LintConfig:
             "registry_decorator",
             "serialize_method",
             "deserialize_method",
+            "telemetry_module",
         ):
             overrides[name] = str(value)
         else:

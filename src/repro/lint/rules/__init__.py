@@ -13,6 +13,7 @@ from .interrupts import InterruptSafetyRule
 from .registry_bypass import RegistryBypassRule
 from .npz_symmetry import NpzSymmetryRule
 from .layering import KernelLayeringRule
+from .telemetry import TelemetryLayeringRule
 
 __all__ = [
     "DeterminismRule",
@@ -21,4 +22,5 @@ __all__ = [
     "KernelLayeringRule",
     "NpzSymmetryRule",
     "RegistryBypassRule",
+    "TelemetryLayeringRule",
 ]

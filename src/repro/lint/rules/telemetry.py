@@ -1,0 +1,114 @@
+"""SL007 — telemetry layering: hot loops stay free of the observability spine.
+
+PR 9's :mod:`repro.obs` promises that telemetry is a *pure observer*: a
+metric-counted, span-traced, event-tapped run is bitwise-identical to a bare
+one.  That promise is structural, not behavioural — it holds because the
+bitwise-pinned cores never see the telemetry layer at all.  The engine,
+service and backend adapters may import ``repro.obs`` freely; the cores
+(``repro.desim``, the kernel's agenda and state machine, the cluster
+generators) expose bare ``tap`` attributes that the *backends* wire up, and
+never import the other direction.  The moment a hot loop imports ``obs``
+directly, instrumentation decisions start living inside the pinned code and
+the "observers cannot perturb results" contract stops being checkable by
+construction.
+
+The same packages are also forbidden from reading the wall clock
+(``time.time()``, ``time.perf_counter()``, ``time.monotonic()``, ...):
+simulation cores advance *simulated* time only, and a wall-clock read in a
+state machine is either dead code or a latent perturbation (e.g. a
+time-based branch that breaks run-to-run determinism).  Timestamps belong to
+the telemetry layer — an installed tap stamps wall time itself, outside the
+guarded packages.
+
+Both lists are configurable via ``[tool.simlint]``
+(``telemetry-forbidden-packages``, ``telemetry-module``,
+``telemetry-wallclock-names``) so the boundary moves with the code, not with
+the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintRule, SourceFile, register_rule
+
+__all__ = ["TelemetryLayeringRule"]
+
+
+@register_rule
+class TelemetryLayeringRule(LintRule):
+    rule_id = "SL007"
+    summary = (
+        "bitwise-pinned hot loops never import the telemetry layer nor read "
+        "the wall clock (observers are wired in from outside)"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if not any(
+            self._inside(source, pkg)
+            for pkg in self.config.telemetry_forbidden_packages
+        ):
+            return
+        telemetry = self.config.telemetry_module
+        for node in source.nodes_of(ast.Import):
+            for alias in node.names:
+                if telemetry in alias.name.split("."):
+                    yield self._flag_import(source, node, alias.name)
+        for node in source.nodes_of(ast.ImportFrom):
+            module = node.module or ""
+            if telemetry in module.split("."):
+                yield self._flag_import(source, node, module)
+                continue
+            # `from .. import obs` / `from repro import obs` spellings.
+            for alias in node.names:
+                if alias.name == telemetry:
+                    yield self._flag_import(
+                        source, node, f"{module}.{alias.name}".lstrip(".")
+                    )
+        for node in source.nodes_of(ast.Call):
+            clock = self._wallclock_call(node)
+            if clock is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"wall-clock read ({clock}) in a bitwise-pinned hot loop; "
+                    "simulation cores advance simulated time only — wall "
+                    "timestamps belong to the telemetry layer (an installed "
+                    "tap stamps them outside the guarded packages)",
+                )
+
+    def _flag_import(
+        self, source: SourceFile, node: ast.AST, module: str
+    ) -> Finding:
+        return self.finding(
+            source,
+            node,
+            f"bitwise-pinned hot loop imports the telemetry layer "
+            f"({module!r}); hot loops expose bare `tap` hooks and the "
+            "backends wire repro.obs in — importing the other direction "
+            "puts instrumentation decisions inside the pinned code and "
+            "breaks the observers-cannot-perturb-results contract",
+        )
+
+    def _wallclock_call(self, node: ast.Call) -> str | None:
+        """``time.<name>(...)`` call of a forbidden clock, or ``None``."""
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in self.config.telemetry_wallclock_names
+        ):
+            return f"time.{func.attr}()"
+        return None
+
+    @staticmethod
+    def _inside(source: SourceFile, package_suffix: str) -> bool:
+        """Whether the file lives under the given path fragment."""
+        want = tuple(part for part in package_suffix.split("/") if part)
+        have = source.path.parts
+        for start in range(len(have) - len(want) + 1):
+            if have[start:start + len(want)] == want:
+                return True
+        return False

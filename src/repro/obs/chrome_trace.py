@@ -1,0 +1,105 @@
+"""Export span/instant JSONL traces to Chrome trace-event JSON.
+
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev) both load the
+trace-event JSON object format::
+
+    {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+                      "pid": ..., "tid": ..., "cat": ..., "args": {...}}],
+     "displayTimeUnit": "ms"}
+
+This module maps the JSONL events of :mod:`repro.obs.tracing` onto it:
+
+* ``span`` events become complete (``ph="X"``) slices — one box per span on
+  its thread's track, nested boxes following the recorded parent ids;
+* ``instant`` events (the simulation taps) become thread-scoped instant
+  markers (``ph="i"``, ``s="t"``).
+
+Timestamps are the monotonic microseconds the tracer recorded; Chrome only
+needs them to share an origin, which a single machine's monotonic clock
+guarantees across the sweep parent and its pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["read_trace_events", "to_chrome_trace", "export_chrome_trace"]
+
+_REQUIRED_FIELDS = {"kind", "name", "cat", "ts_us", "pid", "tid"}
+
+
+def read_trace_events(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file, validating each event's shape.
+
+    Raises ``ValueError`` on a malformed line — a torn write would mean the
+    atomic-append contract of :class:`~repro.obs.tracing.Tracer` broke, which
+    the caller should hear about rather than silently drop.
+    """
+    events: list[dict[str, Any]] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line ({exc})"
+                ) from None
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: trace event is not an object")
+            missing = _REQUIRED_FIELDS - set(event)
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: trace event missing {sorted(missing)!r}"
+                )
+            if event["kind"] == "span" and "dur_us" not in event:
+                raise ValueError(f"{path}:{lineno}: span event has no dur_us")
+            events.append(event)
+    return events
+
+
+def to_chrome_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Convert parsed JSONL events to the Chrome trace-event object form."""
+    trace_events: list[dict[str, Any]] = []
+    for event in events:
+        args = dict(event.get("args", {}))
+        if event.get("parent") is not None:
+            args["parent_span"] = event["parent"]
+        if event.get("id") is not None:
+            args["span_id"] = event["id"]
+        chrome: dict[str, Any] = {
+            "name": event["name"],
+            "cat": event["cat"],
+            "ts": event["ts_us"],
+            "pid": event["pid"],
+            "tid": event["tid"],
+            "args": args,
+        }
+        if event["kind"] == "span":
+            chrome["ph"] = "X"
+            chrome["dur"] = event["dur_us"]
+        elif event["kind"] == "instant":
+            chrome["ph"] = "i"
+            chrome["s"] = "t"  # thread-scoped marker
+        else:
+            raise ValueError(f"unknown trace event kind {event['kind']!r}")
+        trace_events.append(chrome)
+    # Chrome sorts internally, but a sorted file diffs and reviews better.
+    trace_events.sort(key=lambda entry: (entry["ts"], entry["pid"], entry["tid"]))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    jsonl_path: str | os.PathLike, out_path: str | os.PathLike
+) -> int:
+    """Read a JSONL trace and write the Chrome JSON; returns the event count."""
+    events = read_trace_events(jsonl_path)
+    payload = to_chrome_trace(events)
+    out = Path(out_path)
+    out.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+    return len(payload["traceEvents"])

@@ -1,0 +1,208 @@
+"""Prometheus text exposition: rendering and a minimal parser.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into the text format every Prometheus-compatible scraper consumes
+(`exposition format 0.0.4`): ``# HELP`` / ``# TYPE`` headers followed by one
+sample line per child, histograms expanded into cumulative ``_bucket`` series
+plus ``_sum`` / ``_count``.
+
+:func:`parse_prometheus_text` is the *verification* half: a strict parser of
+the subset this module emits, used by the test suite and the CI smoke job to
+prove a live ``GET /metrics`` answer is well-formed and that its counters
+agree with the job records — a renderer pinned only by string comparison
+would let an escaping bug ship silently.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "escape_help",
+    "escape_label_value",
+    "render_prometheus",
+    "parse_prometheus_text",
+]
+
+#: The content type a compliant scraper expects from ``GET /metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line: backslashes and newlines."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslashes, double quotes and newlines."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep verbatim, like Prometheus does
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames, labelvalues, extra: Mapping[str, str] = {}) -> str:
+    pairs = [
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(
+        f'{name}="{escape_label_value(value)}"' for name, value in extra.items()
+    )
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if not _NAME_RE.match(family.name):
+            raise ValueError(f"invalid metric name {family.name!r}")
+        if family.help_text:
+            lines.append(f"# HELP {family.name} {escape_help(family.help_text)}")
+        lines.append(f"# TYPE {family.name} {family.metric_type}")
+        for labelvalues, child in family.samples():
+            labels = _labels_text(family.labelnames, labelvalues)
+            if isinstance(child, Histogram):
+                cumulative, total_sum, total_count = child.snapshot()
+                for bound, running in cumulative:
+                    bucket_labels = _labels_text(
+                        family.labelnames,
+                        labelvalues,
+                        {"le": _format_value(bound)},
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{bucket_labels} {running}"
+                    )
+                lines.append(f"{family.name}_sum{labels} {_format_value(total_sum)}")
+                lines.append(f"{family.name}_count{labels} {total_count}")
+            elif isinstance(child, (Counter, Gauge)):
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+            else:  # pragma: no cover - registry only mints the three types
+                raise TypeError(f"unrenderable metric type {type(child)!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, sorted label pairs): value}``.
+
+    Strict: an unparseable sample line, an unknown ``# TYPE``, a histogram
+    whose cumulative buckets decrease, or a duplicate sample raises
+    ``ValueError``.  Covers exactly the subset :func:`render_prometheus`
+    emits — which is the point: it is the round-trip check, not a general
+    scraper.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    types: dict[str, str] = {}
+    bucket_runs: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    # The exposition format is newline-delimited; split on "\n" only (not
+    # splitlines(), which also splits on \r and friends — a raw carriage
+    # return inside an escaped label value is legal and must survive).
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip("\t ")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "untyped",
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE line {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {raw!r}")
+        name = match.group("name")
+        labels_blob = match.group("labels")
+        labels: dict[str, str] = {}
+        if labels_blob:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(labels_blob):
+                labels[pair.group("key")] = _unescape(pair.group("value"))
+                consumed = pair.end()
+                if consumed < len(labels_blob) and labels_blob[consumed] == ",":
+                    consumed += 1
+            if consumed != len(labels_blob):
+                raise ValueError(
+                    f"line {lineno}: malformed label set {labels_blob!r}"
+                )
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_text!r}"
+            ) from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE line")
+        key = (name, tuple(sorted(labels.items())))
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = value
+        if name.endswith("_bucket") and types.get(base) == "histogram":
+            series = (base, tuple(sorted(p for p in labels.items() if p[0] != "le")))
+            previous = bucket_runs.get(series)
+            if previous is not None and value < previous:
+                raise ValueError(
+                    f"line {lineno}: histogram {base!r} buckets decrease "
+                    f"({value} after {previous})"
+                )
+            bucket_runs[series] = value
+    return samples

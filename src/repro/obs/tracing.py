@@ -1,0 +1,211 @@
+"""Structured span tracing: JSON-lines events with parent/child structure.
+
+A :class:`Tracer` appends one JSON object per line to a trace file.  Two
+event kinds exist:
+
+``span``
+    A timed region — ``ts_us``/``dur_us`` from the monotonic clock, the
+    process and thread ids, a per-process span id and the enclosing span's id
+    (tracked through a :mod:`contextvars` variable, so nesting works across
+    threads and the service's callback plumbing).
+``instant``
+    A point event — same identity fields, no duration.  Simulation-level
+    taps (:mod:`repro.obs.taps`) emit these, carrying the *simulated* clock
+    in their args next to the wall-clock timestamp.
+
+The format is deliberately close to the Chrome trace-event JSON that
+:mod:`repro.obs.chrome_trace` exports, but stays line-oriented so concurrent
+writers — shard callbacks on the service thread, sweep workers in other
+processes — can append without coordination: each event is a single
+``os.write`` to an ``O_APPEND`` descriptor, which POSIX keeps atomic for
+lines far larger than any event we emit.
+
+**Spans are pure observers.**  Nothing here reads or advances any random
+stream, and instrumented code paths run identically whether a tracer is
+installed or not (``trace_span`` is a no-op context manager when tracing is
+off).  A traced sweep is therefore bitwise-identical to an untraced one —
+pinned in ``tests/test_obs_integration.py``.
+
+Usage::
+
+    configure_tracing("sweep.trace.jsonl")
+    with trace_span("sweep", grid="fig01"):
+        with trace_span("point", index=0):
+            ...
+    disable_tracing()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "get_tracer",
+    "active_trace_path",
+    "trace_span",
+    "trace_instant",
+]
+
+#: The enclosing span's id, or ``None`` at top level.  A context variable so
+#: nesting is correct per thread (and survives the service's callbacks).
+_CURRENT_SPAN: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Tracer:
+    """Append-only JSONL trace writer bound to one file path.
+
+    The file descriptor is opened lazily and re-opened after a ``fork`` (the
+    pid is checked on every emit), so a tracer created in the sweep parent
+    keeps working inside pool workers without sharing a descriptor.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+        self._fd_pid: int | None = None
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _descriptor(self) -> int:
+        pid = os.getpid()
+        fd = self._fd
+        if fd is None or self._fd_pid != pid:
+            with self._lock:
+                fd = self._fd
+                if fd is None or self._fd_pid != pid:
+                    fd = os.open(
+                        self.path,
+                        os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                        0o644,
+                    )
+                    self._fd = fd
+                    self._fd_pid = pid
+        return fd
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Append one event as a single atomic line write."""
+        line = json.dumps(event, sort_keys=True, default=str) + "\n"
+        os.write(self._descriptor(), line.encode("utf-8"))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None and self._fd_pid == os.getpid():
+                os.close(self._fd)
+            self._fd = None
+            self._fd_pid = None
+
+    def _identity(self) -> dict[str, Any]:
+        return {"pid": os.getpid(), "tid": threading.get_ident()}
+
+    # -- event kinds --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "sweep", **args: Any) -> Iterator[None]:
+        """Record a timed region; nests via the context variable."""
+        span_id = next(self._ids)
+        parent = _CURRENT_SPAN.get()
+        token = _CURRENT_SPAN.set(span_id)
+        started_ns = time.monotonic_ns()
+        try:
+            yield
+        finally:
+            ended_ns = time.monotonic_ns()
+            _CURRENT_SPAN.reset(token)
+            event: dict[str, Any] = {
+                "kind": "span",
+                "name": str(name),
+                "cat": str(cat),
+                "ts_us": started_ns / 1000.0,
+                "dur_us": (ended_ns - started_ns) / 1000.0,
+                "id": span_id,
+                "parent": parent,
+                **self._identity(),
+            }
+            if args:
+                event["args"] = args
+            self.emit(event)
+
+    def instant(self, name: str, cat: str = "sim", **args: Any) -> None:
+        """Record a point event under the current span."""
+        event: dict[str, Any] = {
+            "kind": "instant",
+            "name": str(name),
+            "cat": str(cat),
+            "ts_us": time.monotonic_ns() / 1000.0,
+            "parent": _CURRENT_SPAN.get(),
+            **self._identity(),
+        }
+        if args:
+            event["args"] = args
+        self.emit(event)
+
+
+#: The process-global tracer (``None`` = tracing off, all spans no-ops).
+_ACTIVE: Tracer | None = None
+
+
+def configure_tracing(path: str | os.PathLike) -> Tracer:
+    """Install a file tracer as the process-global tracer and return it.
+
+    Re-configuring with the same path keeps the existing tracer (this is how
+    pool workers adopt the parent's trace file: the path travels in the work
+    item and the worker configures on first use).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None and Path(_ACTIVE.path) == Path(path):
+        return _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = Tracer(path)
+    return _ACTIVE
+
+
+def disable_tracing() -> None:
+    """Remove (and close) the process-global tracer."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = None
+
+
+def get_tracer() -> Tracer | None:
+    """The process-global tracer, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+def active_trace_path() -> str | None:
+    """Path of the active trace file (what to hand to worker processes)."""
+    return None if _ACTIVE is None else str(_ACTIVE.path)
+
+
+@contextlib.contextmanager
+def trace_span(name: str, cat: str = "sweep", **args: Any) -> Iterator[None]:
+    """Span on the global tracer; a zero-cost no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield
+        return
+    with tracer.span(name, cat=cat, **args):
+        yield
+
+
+def trace_instant(name: str, cat: str = "sim", **args: Any) -> None:
+    """Instant event on the global tracer; no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, cat=cat, **args)

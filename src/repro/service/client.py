@@ -14,7 +14,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -100,26 +100,57 @@ class ServiceClient:
     def status(self, job_id: str) -> JobRecord:
         return JobRecord.from_json(self._request_json(f"/jobs/{job_id}"))
 
+    def metrics_text(self) -> str:
+        """The service's ``GET /metrics`` Prometheus exposition text."""
+        return self._request("/metrics").decode("utf-8")
+
     def wait(
-        self, job_id: str, timeout: float = 300.0, poll_seconds: float = 0.2
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.2,
+        max_poll_seconds: float = 5.0,
+        on_progress: Callable[[JobRecord], None] | None = None,
     ) -> JobRecord:
         """Poll until the job leaves the queue (``done`` or ``failed``).
+
+        Polls with capped exponential backoff: the interval starts at
+        ``poll_seconds`` and grows 1.5x per poll up to ``max_poll_seconds``,
+        so waiting on a long job does not hammer the service at the initial
+        rate for its whole runtime (the old fixed-interval loop fired five
+        requests a second for however many minutes a job took).  A sleep
+        never overshoots the deadline.
+
+        ``on_progress`` fires with each polled record whose
+        ``points_completed`` advanced (and for the first poll), so callers
+        can stream ``completed/total`` and the service's ETA estimate
+        without re-polling themselves.
 
         Raises ``TimeoutError`` (with the last observed status) if the job
         is still queued/running after ``timeout`` seconds.
         """
         deadline = time.monotonic() + timeout
+        interval = max(0.01, poll_seconds)
+        last_reported: int | None = None
         while True:
             record = self.status(job_id)
+            if on_progress is not None and (
+                last_reported is None
+                or record.points_completed > last_reported
+            ):
+                last_reported = record.points_completed
+                on_progress(record)
             if record.status in ("done", "failed"):
                 return record
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {record.status} "
                     f"({record.points_completed}/{record.total_points} points) "
                     f"after {timeout:.0f}s"
                 )
-            time.sleep(poll_seconds)
+            time.sleep(min(interval, deadline - now))
+            interval = min(interval * 1.5, max_poll_seconds)
 
     def result_bytes(self, job_id: str) -> bytes:
         """The finished job's raw NPZ payload."""

@@ -5,6 +5,7 @@ exposing the service over five routes:
 
 ==========================  =============================================
 ``GET  /health``            liveness + queue depth
+``GET  /metrics``           Prometheus exposition text (whole registry)
 ``POST /jobs``              submit (:class:`SweepJobSpec` JSON body)
 ``GET  /jobs``              all job records, submission order
 ``GET  /jobs/<id>``         one job's streamed status record
@@ -27,6 +28,8 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..obs import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from ..obs import REGISTRY, render_prometheus
 from .service import SweepService
 from .specs import SweepJobSpec
 
@@ -70,6 +73,14 @@ class _Handler(BaseHTTPRequestHandler):
                     "cache_entries": len(service.cache),
                 }
             )
+            return
+        if path == "/metrics":
+            body = render_prometheus(REGISTRY).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if path == "/jobs":
             self._send_json({"jobs": [r.to_json() for r in service.list_jobs()]})

@@ -61,6 +61,7 @@ class JobRecord:
     kernel_points: int = 0
     fallback_points: int = 0
     fallback_reasons: dict[str, int] = field(default_factory=dict)
+    eta_seconds: float | None = None
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
@@ -84,6 +85,7 @@ class JobRecord:
             "kernel_points": self.kernel_points,
             "fallback_points": self.fallback_points,
             "fallback_reasons": dict(self.fallback_reasons),
+            "eta_seconds": self.eta_seconds,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -117,6 +119,11 @@ class JobRecord:
                     payload.get("fallback_reasons", {})
                 ).items()
             },
+            eta_seconds=(
+                None
+                if payload.get("eta_seconds") is None
+                else float(payload["eta_seconds"])
+            ),
             submitted_at=float(payload.get("submitted_at", 0.0)),
             started_at=(
                 None
@@ -232,6 +239,7 @@ class JobStore:
                 record.kernel_points = 0
                 record.fallback_points = 0
                 record.fallback_reasons = {}
+                record.eta_seconds = None
                 record.started_at = None
                 record.note = "recovered after restart"
                 self.save(record)

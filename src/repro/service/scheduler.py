@@ -21,12 +21,25 @@ either.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 from ..backends import SimulationConfig
 from ..engine import SweepOutcome, SweepRunner
+from ..obs import REGISTRY, trace_span
 
 __all__ = ["DEFAULT_SHARD_SIZE", "ShardProgress", "ShardScheduler"]
+
+_SHARD_SECONDS = REGISTRY.histogram(
+    "repro_shard_seconds",
+    "Wall-clock seconds per completed shard, by executor entry point",
+    ("executor",),
+)
+_ETA_SECONDS = REGISTRY.gauge(
+    "repro_job_eta_seconds",
+    "Estimated seconds until the currently running job completes "
+    "(mean completed-shard latency times shards remaining; 0 when idle)",
+)
 
 #: Default points per shard — small enough that progress streams and a crash
 #: costs little rework, large enough that the vectorized executor still sees
@@ -40,6 +53,11 @@ class ShardProgress:
     Mirrors the diagnostic fields of :class:`~repro.engine.SweepOutcome`,
     summed shard by shard; ``merge`` returns ``self`` so callbacks can read
     the running totals straight off the object they were handed.
+
+    ``eta_seconds`` is the scheduler's completion estimate — mean latency of
+    the shards finished so far times the shards remaining — refreshed on
+    every shard boundary, so pollers see it shrink as the job drains (and
+    see it honestly jump if later shards run slower than early cache hits).
     """
 
     def __init__(self, total_points: int, shards_total: int) -> None:
@@ -53,6 +71,8 @@ class ShardProgress:
         self.kernel_points = 0
         self.fallback_points = 0
         self.fallback_reasons: dict[str, int] = {}
+        self.eta_seconds: float | None = None
+        self._elapsed_seconds = 0.0
 
     def merge(self, outcome: SweepOutcome) -> "ShardProgress":
         self.shards_completed += 1
@@ -66,6 +86,11 @@ class ShardProgress:
             self.fallback_reasons[reason] = (
                 self.fallback_reasons.get(reason, 0) + count
             )
+        self._elapsed_seconds += outcome.elapsed_seconds
+        remaining = self.shards_total - self.shards_completed
+        self.eta_seconds = (
+            self._elapsed_seconds / self.shards_completed
+        ) * remaining
         return self
 
 
@@ -118,13 +143,26 @@ class ShardScheduler:
             shards_total=len(shards),
         )
         results: list = []
-        for shard in shards:
-            if executor == "vectorized":
-                outcome = self.runner.run_vectorized(shard)
-            else:
-                outcome = self.runner.run(shard, mode=mode)
+        for number, shard in enumerate(shards, start=1):
+            started = time.perf_counter()
+            with trace_span(
+                "shard",
+                executor=executor,
+                shard=number,
+                shards_total=len(shards),
+                points=len(shard),
+            ):
+                if executor == "vectorized":
+                    outcome = self.runner.run_vectorized(shard)
+                else:
+                    outcome = self.runner.run(shard, mode=mode)
+            _SHARD_SECONDS.labels(executor=executor).observe(
+                time.perf_counter() - started
+            )
             results.extend(outcome.results)
             progress.merge(outcome)
+            _ETA_SECONDS.set(progress.eta_seconds or 0.0)
             if on_shard is not None:
                 on_shard(progress)
+        _ETA_SECONDS.set(0.0)
         return results, progress

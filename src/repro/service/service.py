@@ -30,12 +30,32 @@ from pathlib import Path
 from typing import Any
 
 from ..engine import ResultCache, SweepRunner
+from ..obs import REGISTRY, trace_span
 from .jobs import JobRecord, JobStore
 from .results import save_result_npz
 from .scheduler import DEFAULT_SHARD_SIZE, ShardProgress, ShardScheduler
 from .specs import SweepJobSpec
 
 __all__ = ["SweepService"]
+
+_JOBS_SUBMITTED = REGISTRY.counter(
+    "repro_service_jobs_submitted_total", "Jobs accepted by this process"
+)
+_JOBS_FINISHED = REGISTRY.counter(
+    "repro_service_jobs_finished_total",
+    "Jobs this process ran to a terminal state, by outcome",
+    ("status",),
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_service_queue_depth", "Queued jobs awaiting the worker"
+)
+_WORKER_BUSY = REGISTRY.counter(
+    "repro_service_worker_busy_seconds_total",
+    "Wall-clock seconds the worker spent executing jobs",
+)
+_JOB_SECONDS = REGISTRY.histogram(
+    "repro_service_job_seconds", "Wall-clock seconds per executed job"
+)
 
 
 class SweepService:
@@ -72,6 +92,7 @@ class SweepService:
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self.recovered = self.store.recover()
+        _QUEUE_DEPTH.set(len(self.store.pending()))
 
     # -- submission ---------------------------------------------------------
 
@@ -90,6 +111,8 @@ class SweepService:
             record.total_points = len(configs)
             record.shards_total = len(self.scheduler.shards(configs))
             self.store.save(record)
+        _JOBS_SUBMITTED.inc()
+        _QUEUE_DEPTH.set(len(self.store.pending()))
         self._wake.set()
         return record
 
@@ -122,6 +145,7 @@ class SweepService:
         record.status = "running"
         record.started_at = time.time()
         self.store.save(record)
+        _QUEUE_DEPTH.set(len(self.store.pending()))
 
         def persist(progress: ShardProgress) -> None:
             record.points_completed = progress.points_completed
@@ -132,24 +156,38 @@ class SweepService:
             record.kernel_points = progress.kernel_points
             record.fallback_points = progress.fallback_points
             record.fallback_reasons = dict(progress.fallback_reasons)
+            record.eta_seconds = progress.eta_seconds
             self.store.save(record)
 
+        started = time.perf_counter()
         try:
-            configs, mode = record.spec.resolve()
-            results, progress = self.scheduler.execute(
-                configs,
-                mode,
+            with trace_span(
+                "job",
+                cat="service",
+                job_id=record.job_id,
                 executor=record.spec.executor,
-                on_shard=persist,
-            )
-            result_file = f"{record.job_id}.npz"
-            save_result_npz(self.results_dir / result_file, results)
-            persist(progress)
+                points=record.total_points,
+            ):
+                configs, mode = record.spec.resolve()
+                results, progress = self.scheduler.execute(
+                    configs,
+                    mode,
+                    executor=record.spec.executor,
+                    on_shard=persist,
+                )
+                result_file = f"{record.job_id}.npz"
+                save_result_npz(self.results_dir / result_file, results)
+                persist(progress)
             record.result_file = result_file
             record.status = "done"
         except Exception:
             record.error = traceback.format_exc(limit=8)
             record.status = "failed"
+        busy = time.perf_counter() - started
+        _WORKER_BUSY.inc(busy)
+        _JOB_SECONDS.observe(busy)
+        _JOBS_FINISHED.labels(status=record.status).inc()
+        record.eta_seconds = None
         record.finished_at = time.time()
         self.store.save(record)
 

@@ -21,6 +21,7 @@ from repro.lint.rules.interrupts import InterruptSafetyRule
 from repro.lint.rules.layering import KernelLayeringRule
 from repro.lint.rules.npz_symmetry import NpzSymmetryRule
 from repro.lint.rules.registry_bypass import RegistryBypassRule
+from repro.lint.rules.telemetry import TelemetryLayeringRule
 
 
 def _source(code: str, path: str = "fixture.py") -> SourceFile:
@@ -45,7 +46,7 @@ def _project_findings(rule_cls, *sources, config=None):
 class TestRuleRegistry:
     def test_builtin_rules_registered_in_order(self):
         assert rule_names() == (
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
         )
         assert [rule.rule_id for rule in all_rules()] == list(rule_names())
 
@@ -870,6 +871,116 @@ class TestKernelLayering:
             assert _file_findings(
                 KernelLayeringRule, Path(path).read_text(), path=str(path)
             ) == []
+
+
+# ---------------------------------------------------------------------------
+# SL007 telemetry layering
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryLayering:
+    PATH = "src/repro/kernel/machine.py"
+
+    def test_flags_every_obs_import_spelling(self):
+        findings = _file_findings(
+            TelemetryLayeringRule,
+            """
+            import repro.obs
+            import repro.obs.metrics
+            from repro.obs import trace_span
+            from ..obs.tracing import Tracer
+            from .. import obs
+            """,
+            path=self.PATH,
+        )
+        assert len(findings) == 5
+        assert all(f.rule == "SL007" for f in findings)
+        assert "perturb" in findings[0].message
+
+    def test_flags_wall_clock_reads(self):
+        findings = _file_findings(
+            TelemetryLayeringRule,
+            """
+            import time
+
+            def tick():
+                a = time.perf_counter()
+                b = time.monotonic_ns()
+                return a, b
+            """,
+            path="src/repro/desim/core.py",
+        )
+        assert len(findings) == 2
+        assert "time.perf_counter()" in findings[0].message
+        assert "simulated time" in findings[0].message
+
+    def test_bare_tap_hook_and_sim_clock_are_clean(self):
+        # The sanctioned pattern: a bare `tap` attribute called with the
+        # *simulated* clock; no obs import, no wall-clock read.
+        findings = _file_findings(
+            TelemetryLayeringRule,
+            """
+            class EventKernel:
+                def __init__(self):
+                    self.tap = None
+
+                def _run(self, now):
+                    tap = self.tap
+                    if tap is not None:
+                        tap("owner-arrival", now, station=0)
+            """,
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_outside_guarded_packages_is_out_of_scope(self):
+        # The backends are exactly where obs wiring and timing belong.
+        findings = _file_findings(
+            TelemetryLayeringRule,
+            """
+            import time
+            from ..obs import get_sim_tap
+
+            started = time.perf_counter()
+            """,
+            path="src/repro/backends/event_driven.py",
+        )
+        assert findings == []
+
+    def test_config_moves_the_boundary(self):
+        config = LintConfig(
+            telemetry_forbidden_packages=("src/other/core.py",),
+            telemetry_wallclock_names=("time",),
+        )
+        flagged = _file_findings(
+            TelemetryLayeringRule,
+            "import time\nnow = time.time()\n",
+            path="src/other/core.py",
+            config=config,
+        )
+        assert len(flagged) == 1
+        ignored = _file_findings(
+            TelemetryLayeringRule,
+            "import time\nnow = time.perf_counter()\n",
+            path="src/other/core.py",
+            config=config,
+        )
+        assert ignored == []
+
+    def test_real_guarded_packages_are_clean(self):
+        from pathlib import Path
+
+        config = LintConfig()
+        for fragment in config.telemetry_forbidden_packages:
+            root = Path(fragment)
+            files = [root] if root.is_file() else sorted(root.glob("**/*.py"))
+            assert files, f"guarded path {fragment} vanished"
+            for path in files:
+                assert _file_findings(
+                    TelemetryLayeringRule,
+                    path.read_text(),
+                    path=str(path),
+                ) == [], f"SL007 fired on {path}"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,231 @@
+"""Span tracing, JSONL integrity under concurrency, and Chrome export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    SIM_EVENT_KINDS,
+    SimEventTap,
+    Tracer,
+    active_trace_path,
+    configure_tracing,
+    disable_tracing,
+    export_chrome_trace,
+    get_sim_tap,
+    get_tracer,
+    install_sim_tap,
+    read_trace_events,
+    to_chrome_trace,
+    trace_instant,
+    trace_span,
+    uninstall_sim_tap,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    """Tests below install process-global tracers/taps; always tear down."""
+    yield
+    disable_tracing()
+    uninstall_sim_tap()
+
+
+class TestTracer:
+    def test_span_records_timing_and_identity(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        tracer = Tracer(trace)
+        with tracer.span("outer", cat="test", grid="fig01"):
+            pass
+        tracer.close()
+        (event,) = read_trace_events(trace)
+        assert event["kind"] == "span"
+        assert event["name"] == "outer"
+        assert event["cat"] == "test"
+        assert event["args"] == {"grid": "fig01"}
+        assert event["dur_us"] >= 0.0
+        assert event["parent"] is None
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+
+    def test_nested_spans_record_parent_ids(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        tracer = Tracer(trace)
+        with tracer.span("sweep"):
+            with tracer.span("point"):
+                tracer.instant("owner-arrival", sim_time=1.5)
+        tracer.close()
+        events = {e["name"]: e for e in read_trace_events(trace)}
+        sweep, point, tap = events["sweep"], events["point"], events["owner-arrival"]
+        # Inner spans close (and emit) first; ids still chain correctly.
+        assert sweep["parent"] is None
+        assert point["parent"] == sweep["id"]
+        assert tap["kind"] == "instant"
+        assert tap["parent"] == point["id"]
+        assert tap["args"] == {"sim_time": 1.5}
+
+    def test_sibling_spans_share_a_parent(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        tracer = Tracer(trace)
+        with tracer.span("sweep"):
+            with tracer.span("point"):
+                pass
+            with tracer.span("point"):
+                pass
+        tracer.close()
+        events = read_trace_events(trace)
+        sweep = next(e for e in events if e["name"] == "sweep")
+        points = [e for e in events if e["name"] == "point"]
+        assert len(points) == 2
+        assert {p["parent"] for p in points} == {sweep["id"]}
+        assert points[0]["id"] != points[1]["id"]
+
+    def test_concurrent_threads_produce_wellformed_jsonl(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        tracer = Tracer(trace)
+
+        def work(worker: int) -> None:
+            for index in range(50):
+                with tracer.span("point", worker=worker, index=index):
+                    tracer.instant("tick", worker=worker, index=index)
+
+        threads = [threading.Thread(target=work, args=(n,)) for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.close()
+        # The strict reader raises on any torn/interleaved line; count checks
+        # nothing was lost either.
+        events = read_trace_events(trace)
+        spans = [e for e in events if e["kind"] == "span"]
+        instants = [e for e in events if e["kind"] == "instant"]
+        assert len(spans) == 8 * 50
+        assert len(instants) == 8 * 50
+        assert len({e["id"] for e in spans}) == 8 * 50
+        # Nesting is tracked per thread: each instant's parent is a span of
+        # the same worker.
+        by_id = {e["id"]: e for e in spans}
+        for instant in instants:
+            parent = by_id[instant["parent"]]
+            assert parent["args"]["worker"] == instant["args"]["worker"]
+
+    def test_reader_rejects_torn_line(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"kind": "span", "name": "x", "cat"\n')
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace_events(trace)
+
+    def test_reader_rejects_missing_fields(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"kind": "span", "name": "x"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            read_trace_events(trace)
+
+
+class TestGlobalTracer:
+    def test_module_level_span_is_noop_when_off(self):
+        assert get_tracer() is None
+        with trace_span("anything", detail=1):
+            trace_instant("tick")
+        assert active_trace_path() is None
+
+    def test_configure_is_idempotent_per_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        first = configure_tracing(path)
+        second = configure_tracing(path)
+        assert first is second
+        assert active_trace_path() == str(path)
+        other = configure_tracing(tmp_path / "other.jsonl")
+        assert other is not first
+
+    def test_module_level_span_writes_through_global(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with trace_span("sweep", grid="fig01"):
+            trace_instant("tick", sim_time=2.0)
+        disable_tracing()
+        events = read_trace_events(path)
+        assert [e["kind"] for e in events] == ["instant", "span"]
+
+
+class TestChromeExport:
+    def _trace(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        tracer = Tracer(trace)
+        with tracer.span("sweep", cat="sweep", grid="fig01"):
+            with tracer.span("point", cat="sweep", index=0):
+                tracer.instant("owner-arrival", cat="sim", sim_time=0.5)
+        tracer.close()
+        return trace
+
+    def test_chrome_shape(self, tmp_path):
+        events = read_trace_events(self._trace(tmp_path))
+        payload = to_chrome_trace(events)
+        assert payload["displayTimeUnit"] == "ms"
+        by_name = {e["name"]: e for e in payload["traceEvents"]}
+        sweep, point, tap = (
+            by_name["sweep"], by_name["point"], by_name["owner-arrival"]
+        )
+        assert sweep["ph"] == "X" and sweep["dur"] >= 0.0
+        assert point["ph"] == "X"
+        assert point["args"]["parent_span"] == sweep["args"]["span_id"]
+        assert tap["ph"] == "i" and tap["s"] == "t"
+        assert tap["args"]["sim_time"] == 0.5
+        # Sorted by timestamp so the file reviews well.
+        stamps = [e["ts"] for e in payload["traceEvents"]]
+        assert stamps == sorted(stamps)
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        count = export_chrome_trace(self._trace(tmp_path), out)
+        assert count == 3
+        payload = json.loads(out.read_text())
+        assert len(payload["traceEvents"]) == 3
+        assert all("ts" in e and "pid" in e and "tid" in e
+                   for e in payload["traceEvents"])
+
+
+class TestSimEventTap:
+    def test_records_and_counts(self):
+        tap = SimEventTap()
+        tap.record("owner-arrival", 1.0, station=0, demand=2.5)
+        tap.record("task-preempted", 1.5, station=0, remaining=0.5)
+        tap.record("owner-arrival", 3.0, station=1, demand=1.0)
+        assert tap.counts() == {"owner-arrival": 2, "task-preempted": 1}
+        kind, sim_time, details = tap.events[0]
+        assert (kind, sim_time) == ("owner-arrival", 1.0)
+        assert details == {"station": 0, "demand": 2.5}
+
+    def test_kind_filter(self):
+        tap = SimEventTap(kinds=("task-migrated",))
+        tap.record("owner-arrival", 1.0)
+        tap.record("task-migrated", 2.0, source=0, target=1)
+        assert tap.counts() == {"task-migrated": 1}
+
+    def test_unknown_kind_filter_rejected(self):
+        with pytest.raises(ValueError, match="unknown sim event kinds"):
+            SimEventTap(kinds=("never-heard-of-it",))
+        assert "owner-arrival" in SIM_EVENT_KINDS
+
+    def test_tracer_mirroring(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        tracer = Tracer(trace)
+        tap = SimEventTap(tracer=tracer)
+        tap.record("job-admitted", 4.0, job=7)
+        tracer.close()
+        (event,) = read_trace_events(trace)
+        assert event["kind"] == "instant"
+        assert event["name"] == "job-admitted"
+        assert event["cat"] == "sim"
+        assert event["args"] == {"sim_time": 4.0, "job": 7}
+
+    def test_install_uninstall(self):
+        assert get_sim_tap() is None
+        tap = install_sim_tap(SimEventTap())
+        assert get_sim_tap() is tap
+        uninstall_sim_tap()
+        assert get_sim_tap() is None
