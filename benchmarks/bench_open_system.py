@@ -13,6 +13,8 @@ from repro.cluster import SimulationConfig, run_simulation
 from repro.core import JobArrivalSpec, JobClassSpec, OwnerSpec, ScenarioSpec
 from repro.experiments.report import format_mapping
 
+from conftest import append_and_compare
+
 WORKSTATIONS = 8
 TASK_DEMAND = 125.0  # J = 1000
 NUM_JOBS = 400
@@ -71,3 +73,4 @@ def test_open_system_throughput(once):
     report["jobs_completed_per_sec"] = total_jobs / elapsed
     print()
     print(format_mapping("open-system backend throughput", report))
+    append_and_compare("admission", report, key="jobs_completed_per_sec")

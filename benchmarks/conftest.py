@@ -21,6 +21,9 @@ from repro.experiments import FigureResult, format_figure
 #: Where the BENCH_*.json trajectories live (override with BENCH_DIR in CI).
 BENCH_DIR = Path(os.environ.get("BENCH_DIR", "."))
 
+#: Most recent entries kept per BENCH_*.json trajectory (rolling window).
+HISTORY_CAP = 50
+
 
 def report_figure(result: FigureResult, max_rows: int = 12) -> None:
     """Print the regenerated series of a figure (the paper's rows)."""
@@ -41,6 +44,11 @@ def append_and_compare(
     gates stay as absolute assertions in the benchmarks themselves, immune
     to a slow CI runner having produced a slow baseline.
 
+    Trajectories are capped at the most recent :data:`HISTORY_CAP` entries —
+    the files are committed, so every CI run appending forever would grow
+    them without bound; the rolling window keeps the recent trend (and the
+    baseline tail) while the full history stays in git.
+
     Returns the baseline record, or ``None`` on the first run.
     """
     path = BENCH_DIR / f"BENCH_{name}.json"
@@ -50,6 +58,7 @@ def append_and_compare(
         history = loaded if isinstance(loaded, list) else [loaded]
     baseline = history[-1] if history else None
     history.append(record)
+    history = history[-HISTORY_CAP:]
     path.write_text(json.dumps(history, indent=2) + "\n")
     if baseline is not None and key in baseline and key in record:
         ratio = record[key] / baseline[key] if baseline[key] else float("inf")

@@ -267,6 +267,8 @@ class SweepOutcome:
                     for reason, count in sorted(self.fallback_reasons.items())
                 )
                 line += f", {self.fallback_points} scalar fallbacks ({reasons})"
+            else:
+                line += ", fully batched (0 scalar fallbacks)"
         return line
 
     def profile_report(self, top: int = 15) -> str:

@@ -14,8 +14,11 @@ every point still seeds its own :class:`~repro.desim.StreamRegistry` from
 its config, so batch composition cannot change any result.
 
 :func:`kernel_blocker` is the capability probe the sweep engine uses to
-decide routing: it names the reason a config cannot run on the kernel
-(space-shared admission, an unregistered policy), or returns ``None``.
+decide routing: it names the reason a config cannot run on the kernel (an
+unregistered scheduling policy), or returns ``None``.  Space-shared
+admission scenarios (job classes under FCFS / EASY-backfill / priority
+admission) run through :meth:`EventKernel.run_space_shared` and are fully
+covered — no grid family falls back to scalar simulation.
 """
 
 from __future__ import annotations
@@ -50,9 +53,6 @@ def kernel_blocker(config: SimulationConfig) -> str | None:
     scenario = config.effective_scenario
     if scenario.policy not in KERNEL_POLICIES:
         return f"no kernel transition table for policy ({scenario.policy})"
-    spec = scenario.arrivals
-    if spec is not None and spec.is_space_shared:
-        return "space-shared admission (job classes)"
     return None
 
 
@@ -83,7 +83,32 @@ class EventKernelBackend(SimulationBackend):
         blocker = kernel_blocker(cfg)
         if blocker is not None:
             raise ValueError(f"the {self.name} backend cannot run this config: {blocker}")
-        if cfg.effective_scenario.is_open:
+        scenario = cfg.effective_scenario
+        if scenario.is_open:
+            spec = scenario.arrivals
+            if spec is not None and spec.is_space_shared:
+                (
+                    arrivals,
+                    starts,
+                    ends,
+                    demands,
+                    widths,
+                    class_ids,
+                    restarts,
+                    measured,
+                ) = kernel.run_space_shared(cfg, self._streams)
+                return OpenSystemResult(
+                    config=cfg,
+                    mode=self.name,
+                    arrival_times=arrivals,
+                    start_times=starts,
+                    end_times=ends,
+                    demands=demands,
+                    measured_owner_utilization=measured,
+                    widths=widths,
+                    class_ids=class_ids,
+                    restarts=restarts,
+                )
             arrivals, starts, ends, demands, measured = kernel.run_open(
                 cfg, self._streams
             )

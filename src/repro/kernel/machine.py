@@ -63,6 +63,11 @@ from typing import Callable
 
 import numpy as np
 
+from ..cluster.admission import (
+    EasyBackfillAdmission,
+    PriorityAdmission,
+    make_admission_policy,
+)
 from ..cluster.job import balanced_tasks, imbalanced_tasks
 from ..cluster.owner import OwnerBehavior
 from ..cluster.policies import (
@@ -74,7 +79,7 @@ from ..cluster.policies import (
 )
 from ..core.params import ScenarioSpec, StationSpec
 from ..desim.rng import StreamRegistry, make_variate
-from .agenda import NORMAL, URGENT
+from .agenda import NORMAL, URGENT, EventAgenda
 
 __all__ = ["EventKernel", "KERNEL_POLICIES"]
 
@@ -104,6 +109,19 @@ _SOURCE_INIT = 13
 _SOURCE_WAKE = 14
 _SOURCE_EXIT = 15
 _ADMIT_GRANT = 16
+# Space-shared admission kinds (run_space_shared's loop; it reuses the owner /
+# task / job kinds above and adds the admission-controller continuations).
+_ADMIT_TICKET = 17  # AdmissionTicket.event succeeded: the job may start
+_ADMIT_KILL_TASK = 18  # admission preemption interrupt on one live task
+_TASK_FAIL = 19  # a killed task's failed termination (the join's check)
+_JOB_ABORT = 20  # the tasks' AllOf failed: requeue the job (restart)
+_JOB_KILL = 21  # preemption interrupt on the job process itself
+_SRC_OPEN_INIT = 22
+_SRC_OPEN_WAKE = 23
+_SRC_CLOSED_INIT = 24
+_SRC_CLOSED_WAKE = 25
+_SRC_EXIT = 26  # one source's termination event
+_SRC_ALLOF = 27  # the sources' AllOf succeeded: stop condition #1
 
 # Scheduling-policy transition tables (per-task continuation flavours).
 _ROLE_STATIC = 0  # StaticPartition: one task per station, resume in place
@@ -167,6 +185,109 @@ class _Job:
         self.chunks_left = 0  # self-scheduling chunks not yet pulled
 
 
+class _SJob:
+    """Flattened state of one space-shared (moldable, classed) job.
+
+    One record spans the job's whole restart chain: every admission
+    preemption discards the running attempt (:class:`_SAttempt`) and requeues
+    this same record with its full demand, exactly like the oracle's
+    ``run_one_job`` retry loop.
+    """
+
+    __slots__ = (
+        "index",
+        "class_id",
+        "width",
+        "priority",
+        "demand",
+        "seq",
+        "serial",
+        "subset",
+        "att",
+        "waiter",
+    )
+
+    def __init__(
+        self, index: int, class_id: int, width: int, priority: int, demand: float
+    ) -> None:
+        self.index = index
+        self.class_id = class_id
+        self.width = width
+        self.priority = priority
+        self.demand = demand
+        #: Admission-queue arrival order of the *current* request (the
+        #: oracle's ``AdmissionTicket.seq``; re-stamped on every requeue).
+        self.seq = 0
+        #: Lazy-deletion stamp for pending admission tickets (bumped when the
+        #: job process is interrupted while parked at its ticket).
+        self.serial = 0
+        #: Allocated station indices (ascending), ``None`` while queued.
+        self.subset: list[int] | None = None
+        #: The running attempt, ``None`` while queued / parked at a ticket.
+        self.att: "_SAttempt | None" = None
+        #: Closed-loop source parked on this job's termination (``None`` for
+        #: open arrivals).
+        self.waiter: "_SSource | None" = None
+
+
+class _SAttempt:
+    """One execution attempt of a space-shared job (the tasks' AllOf join)."""
+
+    __slots__ = ("job", "pending", "failed", "dead", "active", "chunk", "chunks_left")
+
+    def __init__(self, job: _SJob) -> None:
+        self.job = job
+        self.pending = 0  # tasks still running (the oracle's AllOf count)
+        #: The join failed: a task was killed by admission preemption.
+        self.failed = False
+        #: The job process detached from this attempt (requeued); any late
+        #: join event is a stale no-op, like the oracle's detached AllOf.
+        self.dead = False
+        self.active: list[int] = []  # migrate policy's per-position item count
+        self.chunk = 0.0  # self-scheduling chunk size
+        self.chunks_left = 0  # self-scheduling chunks not yet pulled
+
+
+class _STask:
+    """Flattened state of one task process on a station *subset* position."""
+
+    __slots__ = ("att", "pos", "station", "remaining", "serial", "started")
+
+    def __init__(self, att: _SAttempt, pos: int, station: int) -> None:
+        self.att = att
+        self.pos = pos  # position within the job's subset (migration index)
+        self.station = station  # global station index (CPU/owner state)
+        self.remaining = 0.0
+        #: Lazy-deletion stamp; bumped on every grant push / interrupt / kill.
+        self.serial = 0
+        self.started: float | None = None
+
+
+class _SRun:
+    """Bookkeeping for one admitted job (the oracle's ``_RunningJob``)."""
+
+    __slots__ = ("job", "stations", "admitted_at", "estimate")
+
+    def __init__(
+        self, job: _SJob, stations: list[int], admitted_at: float, estimate: float
+    ) -> None:
+        self.job = job
+        self.stations = stations
+        self.admitted_at = admitted_at
+        #: Ideal interference-adjusted service-time estimate (backfilling).
+        self.estimate = estimate
+
+
+class _SSource:
+    """One closed-loop source: a think-time variate bound to a job class."""
+
+    __slots__ = ("variate", "class_index")
+
+    def __init__(self, variate, class_index: int) -> None:
+        self.variate = variate
+        self.class_index = class_index
+
+
 def _station_behavior(spec: StationSpec) -> OwnerBehavior:
     """Owner behaviour of one station (mirrors the event-driven backend)."""
     if spec.demand_kind == "trace":
@@ -209,10 +330,14 @@ class EventKernel:
     no events, so a tapped run stays bitwise-identical.
     """
 
-    __slots__ = ("_heap", "tap")
+    __slots__ = ("_heap", "_agenda", "tap")
 
     def __init__(self) -> None:
         self._heap: list[tuple] = []
+        #: The space-shared loop drives this :class:`EventAgenda` (reset at
+        #: the top of every :meth:`run_space_shared`, so back-to-back grid
+        #: points in one batch cannot leak agenda state into each other).
+        self._agenda = EventAgenda()
         self.tap: Callable[..., None] | None = None
 
     # -- public entry points -------------------------------------------------
@@ -321,8 +446,8 @@ class EventKernel:
                 )
             if spec_arrivals.is_space_shared:
                 raise ValueError(
-                    "the event kernel has no transition tables for "
-                    "space-shared (job-class) arrival specs"
+                    "space-shared (job-class) arrival specs run through "
+                    "EventKernel.run_space_shared, not the classless loop"
                 )
             arrival_rng = streams.stream("arrivals")
             job_demand_rng = streams.stream("job-demands")
@@ -751,5 +876,721 @@ class EventKernel:
         return (
             job_times,
             np.asarray(task_times, dtype=np.float64),
+            measured_util,
+        )
+
+    # -- the space-shared admission loop -------------------------------------
+    def run_space_shared(
+        self, config, streams: StreamRegistry | None = None
+    ) -> tuple[
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        float,
+    ]:
+        """Moldable job classes space-sharing the cluster under admission.
+
+        Flattens the ``open-system`` oracle's ``_run_space_shared`` — the
+        :class:`~repro.cluster.admission.AdmissionController` decision loop
+        (queue state, exclusive station-subset allocation, EASY reservation /
+        backfill checks, preemptive kill-and-requeue restarts) plus the
+        open/closed job sources — into transition tables driven by the
+        kernel's :class:`EventAgenda`.  Returns ``(arrival_times,
+        start_times, end_times, demands, widths, class_ids, restarts,
+        measured_owner_utilization)``, bitwise-equal to the corresponding
+        fields of the oracle's :class:`OpenSystemResult`.
+
+        Admission-controller mapping (on top of the module-level contract):
+
+        =====================================  ==============================
+        oracle (controller + desim)            kernel (flat loop)
+        =====================================  ==============================
+        ``ticket.event.succeed``               ``ADMIT_TICKET`` push, stamped
+                                               with the job's ``serial``
+        ``process.interrupt`` on a task        ``ADMIT_KILL_TASK`` urgent push
+        killed task's failed termination       ``TASK_FAIL`` push; first one
+                                               fails the join (``JOB_ABORT``)
+        ``process.interrupt`` on the job       ``JOB_KILL`` urgent push (all
+                                               tasks finished in-instant)
+        detached AllOf firing after eviction   ``att.dead`` stale-skip
+        source process / sources' AllOf        ``SRC_*`` kinds
+        =====================================  ==============================
+        """
+        cfg = config
+        scenario: ScenarioSpec = cfg.effective_scenario
+        workstations: int = cfg.workstations
+        num_jobs: int = cfg.num_jobs
+        imbalance: float = scenario.imbalance
+        job_demand: float = cfg.job_demand
+
+        spec = scenario.arrivals
+        if spec is None or not spec.is_space_shared:
+            raise ValueError(
+                "run_space_shared needs a scenario whose arrival spec defines "
+                "job classes; use run_open for the classless stream"
+            )
+        classes = spec.job_classes
+        for job_class in classes:
+            if job_class.width > workstations:
+                raise ValueError(
+                    f"job class {job_class.name!r} requests width "
+                    f"{job_class.width} on a {workstations}-station cluster"
+                )
+        policy = make_policy(scenario.policy, **dict(scenario.policy_kwargs))
+        role, chunks_per_station = _policy_role(policy)
+        admission = make_admission_policy(
+            spec.admission_policy, **dict(spec.admission_kwargs)
+        )
+        # Flatten the policy object into the transition tables' scalars.
+        adm_backfill = isinstance(admission, EasyBackfillAdmission)
+        adm_priority = isinstance(admission, PriorityAdmission)
+        preemptive = adm_priority and admission.preemptive
+        runtime_factor = admission.runtime_factor if adm_backfill else 0.0
+
+        if streams is None:
+            streams = StreamRegistry(cfg.seed)
+
+        agenda = self._agenda
+        agenda.reset()
+        now = 0.0
+        tap = self.tap
+
+        # Per-station owner + CPU state, identical to the classless loop.
+        think_v: list = [None] * workstations
+        demand_v: list = [None] * workstations
+        owner_rng: list = [None] * workstations
+        prebatch = [False] * workstations
+        think_buf: list = [()] * workstations
+        think_cur = [0] * workstations
+        owner_pending = [0.0] * workstations
+        busy = [False] * workstations
+        busy_start = [0.0] * workstations
+        area = [0.0] * workstations
+        util = [0.0] * workstations
+        holder: list = [None] * workstations
+        cpu_queue: list[deque] = [deque() for _ in range(workstations)]
+
+        for w, sspec in enumerate(scenario.stations):
+            behavior = _station_behavior(sspec)
+            rng = streams.stream(f"owner-{w}")
+            util[w] = behavior.utilization
+            if behavior.is_idle:
+                continue
+            think = behavior.think_time
+            demand = behavior.demand
+            think_v[w] = think
+            demand_v[w] = demand
+            owner_rng[w] = rng
+            prebatch[w] = bool(
+                getattr(think, "draws_rng", True)
+                and hasattr(think, "sample_batch")
+                and not getattr(demand, "draws_rng", True)
+            )
+            agenda.push(0.0, URGENT, _OWNER_INIT, w)
+        # Stream creation order matches the oracle: owners, placement,
+        # arrivals, job-demands, job-classes, think-times — all six created
+        # unconditionally (a single-class mix draws nothing from the extras,
+        # but their creation still advances the registry's spawn counter).
+        placement_rng = streams.stream("placement")
+        arrival_rng = streams.stream("arrivals")
+        job_demand_rng = streams.stream("job-demands")
+        class_rng = streams.stream("job-classes")
+        think_rng = streams.stream("think-times")
+        demand_variate = make_variate(
+            spec.demand_kind, job_demand, **dict(spec.demand_kwargs)
+        )
+        mean_util = scenario.mean_utilization
+
+        def think_sample(w: int) -> float:
+            if prebatch[w]:
+                buf = think_buf[w]
+                i = think_cur[w]
+                if i >= len(buf):
+                    buf = think_v[w].sample_batch(owner_rng[w], _THINK_BLOCK).tolist()
+                    think_buf[w] = buf
+                    i = 0
+                think_cur[w] = i + 1
+                return buf[i]
+            return think_v[w].sample(owner_rng[w])
+
+        open_indices = spec.open_class_indices
+        open_index_array = np.array(open_indices, dtype=np.int64)
+        weights = np.array(
+            [classes[index].weight for index in open_indices], dtype=np.float64
+        )
+        if weights.size:
+            weights /= weights.sum()
+        mean_gap = spec.mean_interarrival if open_indices else 0.0
+
+        arrival_times = np.empty(num_jobs, dtype=np.float64)
+        start_times = np.empty(num_jobs, dtype=np.float64)
+        end_times = np.empty(num_jobs, dtype=np.float64)
+        job_demands = np.empty(num_jobs, dtype=np.float64)
+        widths = np.empty(num_jobs, dtype=np.float64)
+        class_ids = np.empty(num_jobs, dtype=np.float64)
+        restarts = np.zeros(num_jobs, dtype=np.float64)
+
+        budget = num_jobs
+        submitted = 0
+        jobs_exited = 0
+        sources_done = False
+
+        # Admission-controller state, flattened: a sorted free-station list,
+        # the waiting queue (policy order), and insertion-ordered running
+        # records (EASY's release sort relies on dict insertion order plus
+        # sort stability, exactly like the oracle's ``running.values()``).
+        adm_free = list(range(workstations))
+        adm_queue: list[_SJob] = []
+        adm_running: dict[int, _SRun] = {}
+        adm_seq = 0
+
+        def estimate_service(job: _SJob) -> float:
+            # The oracle's estimate_service lambda, verbatim float ops.
+            return job.demand / (job.width * (1.0 - mean_util))
+
+        def request_cpu(t: _STask) -> None:
+            w = t.station
+            if holder[w] is None:
+                holder[w] = t
+                t.serial += 1
+                agenda.push(now, NORMAL, _TASK_GRANT, t, t.serial)
+            else:
+                cpu_queue[w].append(t)
+
+        def release_cpu(w: int) -> None:
+            q = cpu_queue[w]
+            if q:
+                h = q.popleft()
+                holder[w] = h
+                h.serial += 1
+                agenda.push(now, NORMAL, _TASK_GRANT, h, h.serial)
+            else:
+                holder[w] = None
+            agenda.tick()  # the Release event itself (guaranteed no-op pop)
+
+        def adm_select() -> _SJob | None:
+            """``AdmissionPolicy.select`` over the flattened queue state."""
+            if not adm_queue:
+                return None
+            head = adm_queue[0]
+            free = len(adm_free)
+            if head.width <= free:
+                return head
+            if not adm_backfill:
+                return None  # FCFS / priority: head-of-line blocking
+            # EASY: the head's reservation (shadow time + spare width), then
+            # the backfill scan over the rest of the queue.
+            releases = sorted(
+                adm_running.values(),
+                key=lambda run: run.admitted_at + runtime_factor * run.estimate,
+            )
+            shadow = now
+            extra = free
+            available = free
+            for run in releases:
+                available += len(run.stations)
+                if available >= head.width:
+                    shadow = run.admitted_at + runtime_factor * run.estimate
+                    if shadow < now:
+                        shadow = now
+                    extra = available - head.width
+                    break
+            for job in adm_queue[1:]:
+                if job.width > free:
+                    continue
+                finish = now + runtime_factor * estimate_service(job)
+                if finish <= shadow or job.width <= extra:
+                    return job
+            return None
+
+        def adm_admit(job: _SJob) -> None:
+            adm_queue.remove(job)
+            allocated = adm_free[: job.width]
+            del adm_free[: job.width]
+            job.subset = allocated
+            adm_running[job.index] = _SRun(job, allocated, now, estimate_service(job))
+            # ticket.event.succeed(ticket): one enqueue, the ADMIT_TICKET pop.
+            agenda.push(now, NORMAL, _ADMIT_TICKET, job, job.serial)
+
+        def adm_preempt(run: _SRun) -> None:
+            """Kill-and-requeue one running job (restart semantics).
+
+            Interrupt enqueues mirror the oracle's per-station scan of
+            ``list(cpu.users) + list(cpu.queue)``: the task holder first
+            (owners are skipped — their requests carry OWNER_PRIORITY), then
+            the queued tasks in FIFO order.  A victim with no live task left
+            (all finished in this very instant) gets the interrupt on its job
+            process instead.
+            """
+            killed = 0
+            for w in run.stations:
+                h = holder[w]
+                if h is not None and h is not _OWNER_HOLDER:
+                    agenda.push(now, URGENT, _ADMIT_KILL_TASK, h)
+                    killed += 1
+                for t in cpu_queue[w]:
+                    agenda.push(now, URGENT, _ADMIT_KILL_TASK, t)
+                    killed += 1
+            if killed == 0:
+                agenda.push(now, URGENT, _JOB_KILL, run.job)
+            del adm_running[run.job.index]
+            adm_free.extend(run.stations)
+            adm_free.sort()
+
+        def adm_dispatch() -> None:
+            """``AdmissionController._dispatch``: select loop, then the plan."""
+            while True:
+                pick = adm_select()
+                if pick is None:
+                    break
+                adm_admit(pick)
+            if preemptive and adm_queue:
+                head = adm_queue[0]
+                victims = sorted(
+                    (
+                        run
+                        for run in adm_running.values()
+                        if run.job.priority < head.priority
+                    ),
+                    key=lambda run: (
+                        run.job.priority,
+                        -run.admitted_at,
+                        -run.job.seq,
+                    ),
+                )
+                reclaimed = len(adm_free)
+                plan: list[_SRun] = []
+                for run in victims:
+                    plan.append(run)
+                    reclaimed += len(run.stations)
+                    if reclaimed >= head.width:
+                        break
+                else:
+                    plan = []  # reclaiming everything still won't fit: no plan
+                if plan:
+                    for run in plan:
+                        adm_preempt(run)
+                    adm_admit(head)
+                    while True:
+                        pick = adm_select()
+                        if pick is None:
+                            break
+                        adm_admit(pick)
+            # Work conservation: stations can never all idle while jobs wait.
+            assert not (adm_queue and not adm_running), (
+                "admission stalled with an empty cluster and a non-empty queue"
+            )
+
+        def adm_request(job: _SJob) -> None:
+            nonlocal adm_seq
+            adm_seq += 1
+            job.seq = adm_seq
+            adm_queue.append(job)
+            if adm_priority:
+                adm_queue.sort(key=lambda j: (-j.priority, j.seq))
+            adm_dispatch()
+            if tap is not None and job.subset is None:
+                tap("job-queued", now, job=job.index, queue_depth=len(adm_queue))
+
+        def adm_release(job: _SJob) -> None:
+            run = adm_running.pop(job.index)
+            adm_free.extend(run.stations)
+            adm_free.sort()
+            adm_dispatch()
+
+        def take_budget() -> bool:
+            nonlocal budget
+            if budget <= 0:
+                return False
+            budget -= 1
+            return True
+
+        def submit(class_index: int) -> _SJob:
+            nonlocal submitted
+            demand = float(demand_variate.sample(job_demand_rng))
+            while demand <= 0.0:
+                demand = float(demand_variate.sample(job_demand_rng))
+            job_class = classes[class_index]
+            job = _SJob(
+                submitted, class_index, job_class.width, job_class.priority, demand
+            )
+            arrival_times[job.index] = now
+            job_demands[job.index] = demand
+            widths[job.index] = float(job_class.width)
+            class_ids[job.index] = float(class_index)
+            submitted += 1
+            agenda.push(now, URGENT, _JOB_INIT, job)
+            return job
+
+        def start_attempt(job: _SJob) -> None:
+            """The admitted ticket's continuation: split demands, launch tasks.
+
+            The placement draw happens per *attempt* (oracle: inside the
+            retry loop), so restarts re-split with fresh randomness.
+            """
+            width = job.width
+            if imbalance == 0.0:
+                demands = balanced_tasks(job.demand, width)
+            else:
+                demands = imbalanced_tasks(job.demand, width, imbalance, placement_rng)
+            att = _SAttempt(job)
+            job.att = att
+            att.pending = width
+            subset = job.subset
+            if role == _ROLE_WORKER:
+                total = float(np.sum(demands))
+                num_chunks = chunks_per_station * width
+                att.chunk = total / num_chunks
+                att.chunks_left = num_chunks
+                for pos in range(width):
+                    agenda.push(now, URGENT, _TASK_INIT, _STask(att, pos, subset[pos]))
+            else:
+                if role == _ROLE_ITEM:
+                    att.active = [1] * width
+                for pos in range(width):
+                    t = _STask(att, pos, subset[pos])
+                    t.remaining = float(demands[pos])
+                    agenda.push(now, URGENT, _TASK_INIT, t)
+
+        def end_attempt(t: _STask) -> None:
+            """Continuation after a CPU attempt ends (subset-scoped)."""
+            att = t.att
+            if role == _ROLE_STATIC:
+                agenda.push(now, NORMAL, _TASK_EXIT, t)
+                return
+            if role == _ROLE_WORKER:
+                if att.chunks_left > 0:
+                    att.chunks_left -= 1
+                    t.remaining = att.chunk
+                    request_cpu(t)
+                else:
+                    agenda.push(now, NORMAL, _TASK_EXIT, t)
+                return
+            # _ROLE_ITEM: one execute_task_step record ended.
+            if t.remaining <= 0:
+                att.active[t.pos] -= 1
+                agenda.push(now, NORMAL, _TASK_EXIT, t)
+                return
+            # Preempted with work left: migrate within the job's subset to the
+            # least-utilized idle position (ties by position), else resume.
+            active = att.active
+            subset = att.job.subset
+            cur = t.pos
+            best = -1
+            for i in range(len(subset)):
+                if i == cur or active[i] > 0:
+                    continue
+                if best < 0 or util[subset[i]] < util[subset[best]]:
+                    best = i
+            if best >= 0:
+                active[cur] -= 1
+                active[best] += 1
+                if tap is not None:
+                    tap(
+                        "task-migrated",
+                        now,
+                        job=att.job.index,
+                        source=subset[cur],
+                        target=subset[best],
+                        remaining=t.remaining,
+                    )
+                t.pos = best
+                t.station = subset[best]
+            request_cpu(t)
+
+        # Sources start after the owners, open first (oracle process order).
+        sources_left = 0
+        if open_indices:
+            agenda.push(0.0, URGENT, _SRC_OPEN_INIT)
+            sources_left += 1
+        for class_index in spec.closed_class_indices:
+            job_class = classes[class_index]
+            for _member in range(job_class.population):
+                agenda.push(
+                    0.0,
+                    URGENT,
+                    _SRC_CLOSED_INIT,
+                    _SSource(
+                        make_variate(
+                            job_class.think_time_kind,
+                            job_class.think_time,
+                            **dict(job_class.think_time_kwargs),
+                        ),
+                        class_index,
+                    ),
+                )
+                sources_left += 1
+        multi_source = sources_left > 1
+
+        # ---- dispatch loop (branches roughly frequency-ordered) ----
+        # With no sources at all (every class empty of arrivals) the loop is
+        # skipped outright: owners alone never advance the interesting state,
+        # and the measured utilizations are all zero at ``now == 0``.
+        halted = sources_left == 0
+        while not halted:
+            entry = agenda.pop()
+            now = entry[0]
+            kind = entry[3]
+            if kind == _TASK_GRANT:
+                t = entry[4]
+                if entry[5] != t.serial:
+                    continue  # stale grant (interrupted / killed meanwhile)
+                t.started = now
+                agenda.push(now + t.remaining, NORMAL, _TASK_DONE, t, t.serial)
+            elif kind == _TASK_DONE:
+                t = entry[4]
+                if entry[5] != t.serial:
+                    continue  # stale completion (interrupted mid-service)
+                t.remaining = 0.0
+                t.started = None
+                release_cpu(t.station)
+                end_attempt(t)
+            elif kind == _OWNER_WAKE:
+                w = entry[4]
+                demand = demand_v[w].sample(owner_rng[w])
+                if demand < 0.0:
+                    demand = 0.0  # max(0.0, sample)
+                if demand == 0.0:
+                    think = think_sample(w)
+                    if think == _INF:
+                        agenda.tick()  # owner process returns, unobserved
+                    else:
+                        agenda.push(
+                            now + (think if think > 0.0 else 0.0),
+                            NORMAL,
+                            _OWNER_WAKE,
+                            w,
+                        )
+                    continue
+                owner_pending[w] = demand
+                if tap is not None:
+                    tap("owner-arrival", now, station=w, demand=demand)
+                h = holder[w]
+                if h is not None:
+                    h.serial += 1
+                    agenda.push(now, URGENT, _TASK_INTERRUPT, h)
+                holder[w] = _OWNER_HOLDER
+                agenda.push(now, NORMAL, _OWNER_GRANT, w)
+            elif kind == _OWNER_GRANT:
+                w = entry[4]
+                busy[w] = True
+                busy_start[w] = now
+                agenda.push(now + owner_pending[w], NORMAL, _OWNER_DONE, w)
+            elif kind == _OWNER_DONE:
+                w = entry[4]
+                area[w] += now - busy_start[w]
+                busy[w] = False
+                release_cpu(w)
+                think = think_sample(w)
+                if think == _INF:
+                    agenda.tick()  # owner process returns, unobserved
+                else:
+                    agenda.push(
+                        now + (think if think > 0.0 else 0.0), NORMAL, _OWNER_WAKE, w
+                    )
+            elif kind == _TASK_INTERRUPT:
+                t = entry[4]
+                if t.started is not None:
+                    t.remaining -= now - t.started
+                    t.started = None
+                if tap is not None:
+                    tap(
+                        "task-preempted",
+                        now,
+                        job=t.att.job.index,
+                        station=t.station,
+                        remaining=t.remaining,
+                    )
+                agenda.tick()  # Release of the interrupted request (no-op pop)
+                if role == _ROLE_ITEM:
+                    end_attempt(t)
+                elif t.remaining > 0:
+                    request_cpu(t)
+                else:
+                    end_attempt(t)
+            elif kind == _TASK_INIT:
+                t = entry[4]
+                if role == _ROLE_WORKER:
+                    att = t.att
+                    if att.chunks_left <= 0:
+                        agenda.push(now, NORMAL, _TASK_EXIT, t)
+                        continue
+                    att.chunks_left -= 1
+                    t.remaining = att.chunk
+                request_cpu(t)
+            elif kind == _TASK_EXIT:
+                att = entry[4].att
+                att.pending -= 1
+                if att.pending == 0 and not att.failed:
+                    # The join fires even for a dead attempt whose tasks all
+                    # finished (the oracle's detached AllOf still succeeds);
+                    # the JOB_ALLOF pop skips it.  A *failed* join never
+                    # re-fires: the AllOf is already triggered.
+                    agenda.push(now, NORMAL, _JOB_ALLOF, att)
+            elif kind == _JOB_ALLOF:
+                att = entry[4]
+                if att.dead:
+                    continue  # stale join: the job was evicted this instant
+                job = att.job
+                end_times[job.index] = now
+                adm_release(job)
+                agenda.push(now, NORMAL, _JOB_EXIT, job)
+            elif kind == _JOB_EXIT:
+                job = entry[4]
+                src = job.waiter
+                if src is not None:
+                    # Resume the parked closed-loop source: next think time.
+                    job.waiter = None
+                    gap = float(src.variate.sample(think_rng))
+                    agenda.push(now + max(gap, 0.0), NORMAL, _SRC_CLOSED_WAKE, src)
+                jobs_exited += 1
+                if sources_done and jobs_exited >= submitted:
+                    break  # the drain AllOf fires: simulation over
+            elif kind == _JOB_INIT:
+                # run_one_job's first admission request (synchronous dispatch).
+                adm_request(entry[4])
+            elif kind == _ADMIT_TICKET:
+                job = entry[4]
+                if entry[5] != job.serial:
+                    continue  # evicted while parked at this very ticket
+                if tap is not None:
+                    tap(
+                        "job-admitted",
+                        now,
+                        job=job.index,
+                        width=job.width,
+                        stations=tuple(job.subset),
+                    )
+                start_times[job.index] = now
+                start_attempt(job)
+            elif kind == _ADMIT_KILL_TASK:
+                t = entry[4]
+                # The interrupt detaches the task from any pending grant /
+                # completion (bumped at *pop* time: a grant legitimately
+                # issued to this dying task during an earlier kill's release
+                # must still be invalidated).
+                t.serial += 1
+                w = t.station
+                if holder[w] is t:
+                    release_cpu(w)  # context-manager release: grant next
+                else:
+                    cpu_queue[w].remove(t)  # queued request cancelled
+                    agenda.tick()  # its Release completion (no-op pop)
+                agenda.push(now, NORMAL, _TASK_FAIL, t)  # failed termination
+            elif kind == _TASK_FAIL:
+                att = entry[4].att
+                if att.failed:
+                    continue  # the join already failed: triggered, no-op
+                att.failed = True
+                agenda.push(now, NORMAL, _JOB_ABORT, att)  # the AllOf's fail
+            elif kind == _JOB_ABORT:
+                att = entry[4]
+                job = att.job
+                att.dead = True
+                job.att = None
+                job.subset = None
+                restarts[job.index] += 1.0
+                if tap is not None:
+                    tap(
+                        "job-restarted",
+                        now,
+                        job=job.index,
+                        restarts=int(restarts[job.index]),
+                    )
+                adm_request(job)  # requeue with the full demand (restart)
+            elif kind == _JOB_KILL:
+                job = entry[4]
+                job.serial += 1  # a pending admission ticket goes stale
+                att = job.att
+                if att is not None:
+                    att.dead = True
+                    job.att = None
+                job.subset = None
+                restarts[job.index] += 1.0
+                if tap is not None:
+                    tap(
+                        "job-restarted",
+                        now,
+                        job=job.index,
+                        restarts=int(restarts[job.index]),
+                    )
+                adm_request(job)
+            elif kind == _SRC_OPEN_WAKE:
+                index = entry[4]
+                if len(open_indices) == 1:
+                    class_index = open_indices[0]
+                else:
+                    class_index = int(class_rng.choice(open_index_array, p=weights))
+                submit(class_index)
+                if take_budget():
+                    gap = spec.interarrival(index)
+                    if gap is None:
+                        gap = float(arrival_rng.exponential(mean_gap))
+                    agenda.push(now + gap, NORMAL, _SRC_OPEN_WAKE, index + 1)
+                else:
+                    agenda.push(now, NORMAL, _SRC_EXIT)  # source termination
+            elif kind == _SRC_CLOSED_WAKE:
+                src = entry[4]
+                if take_budget():
+                    submit(src.class_index).waiter = src  # park on the job
+                else:
+                    agenda.push(now, NORMAL, _SRC_EXIT)  # source termination
+            elif kind == _SRC_OPEN_INIT:
+                if take_budget():
+                    gap = spec.interarrival(0)
+                    if gap is None:
+                        gap = float(arrival_rng.exponential(mean_gap))
+                    agenda.push(now + gap, NORMAL, _SRC_OPEN_WAKE, 1)
+                else:
+                    agenda.push(now, NORMAL, _SRC_EXIT)
+            elif kind == _SRC_CLOSED_INIT:
+                src = entry[4]
+                gap = float(src.variate.sample(think_rng))
+                agenda.push(now + max(gap, 0.0), NORMAL, _SRC_CLOSED_WAKE, src)
+            elif kind == _SRC_EXIT:
+                sources_left -= 1
+                if sources_left == 0:
+                    if multi_source:
+                        # Last termination: the sources' AllOf succeeds.
+                        agenda.push(now, NORMAL, _SRC_ALLOF)
+                    else:
+                        sources_done = True
+                        if jobs_exited >= submitted:
+                            break  # no in-flight jobs left to drain
+            elif kind == _SRC_ALLOF:
+                sources_done = True
+                if jobs_exited >= submitted:
+                    break
+            else:  # _OWNER_INIT
+                w = entry[4]
+                think = think_sample(w)
+                if think == _INF:
+                    agenda.tick()  # owner process returns, unobserved
+                else:
+                    agenda.push(
+                        now + (think if think > 0.0 else 0.0), NORMAL, _OWNER_WAKE, w
+                    )
+
+        # Finalize the owner-busy monitors at the stop time.
+        measured = []
+        for w in range(workstations):
+            a = area[w]
+            if busy[w]:
+                a += now - busy_start[w]
+            measured.append(0.0 if now <= 0 else a / now)
+        measured_util = float(np.mean(measured))
+
+        return (
+            arrival_times,
+            start_times,
+            end_times,
+            job_demands,
+            widths,
+            class_ids,
+            restarts,
             measured_util,
         )

@@ -11,6 +11,9 @@ array :class:`~repro.kernel.machine.EventKernel` — expose a *generic* hook
 ``task-migrated``   the migration policy moved a remainder to a new station
 ``job-queued``      an open-system arrival waited on the admission cap
 ``job-admitted``    an open-system arrival acquired an admission slot
+                    (space-shared: its exclusive station subset)
+``job-restarted``   preemptive admission evicted a running job; it
+                    requeued with its full demand
 ==================  ====================================================
 
 The hot loops never import this module (enforced by lint rule SL007); the
@@ -52,6 +55,7 @@ SIM_EVENT_KINDS: tuple[str, ...] = (
     "task-migrated",
     "job-queued",
     "job-admitted",
+    "job-restarted",
 )
 
 

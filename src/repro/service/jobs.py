@@ -84,7 +84,7 @@ class JobRecord:
             "vectorized_groups": self.vectorized_groups,
             "kernel_points": self.kernel_points,
             "fallback_points": self.fallback_points,
-            "fallback_reasons": dict(self.fallback_reasons),
+            "fallback_reasons": dict(sorted(self.fallback_reasons.items())),
             "eta_seconds": self.eta_seconds,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,

@@ -299,10 +299,10 @@ class TestVectorizedHeterogeneous:
         summary = outcome.summary()
         assert "3 kernel-batched" in summary
 
-    def test_kernel_inexpressible_configs_fall_back_with_reasons(self, paper_owner):
+    def _space_shared_config(self, paper_owner, seed: int = 3):
         from repro.core import JobArrivalSpec, JobClassSpec, ScenarioSpec
 
-        space_shared = SimulationConfig.from_scenario(
+        return SimulationConfig.from_scenario(
             ScenarioSpec.homogeneous(
                 4,
                 paper_owner,
@@ -311,23 +311,65 @@ class TestVectorizedHeterogeneous:
                     job_classes=(JobClassSpec("narrow", width=1),),
                 ),
             ),
-            task_demand=30.0, num_jobs=20, num_batches=4, seed=3,
+            task_demand=30.0, num_jobs=20, num_batches=4, seed=seed,
         )
+
+    def test_space_shared_configs_kernel_batch_with_zero_fallbacks(
+        self, paper_owner
+    ):
+        # formerly the one remaining scalar-fallback family: space-shared
+        # admission now has kernel transition tables and batches like the rest
+        space_shared = self._space_shared_config(paper_owner)
         grid = self._hetero_grid(num_jobs=200)[:1] + [space_shared]
+        outcome = SweepRunner(jobs=1).run_vectorized(grid)
+        assert len(outcome) == len(grid)
+        assert outcome.kernel_points == 1
+        assert outcome.fallback_points == 0
+        assert outcome.fallback_reasons == {}
+        assert outcome[1].mode == "event-kernel"
+        assert outcome.mode == "mixed"
+        assert "fully batched (0 scalar fallbacks)" in outcome.summary()
+
+    def test_kernel_inexpressible_configs_fall_back_with_reasons(
+        self, paper_owner, monkeypatch
+    ):
+        from repro.core import ScenarioSpec
+        import repro.kernel.backend as kernel_backend
+
+        # No real config is kernel-inexpressible any more; shrink the kernel's
+        # policy registry so the fallback accounting machinery stays covered.
+        monkeypatch.setattr(kernel_backend, "KERNEL_POLICIES", ("static",))
+        policy_config = SimulationConfig.from_scenario(
+            ScenarioSpec.homogeneous(4, paper_owner, policy="self-scheduling"),
+            task_demand=25.0, num_jobs=20, num_batches=4, seed=3,
+        )
+        grid = self._hetero_grid(num_jobs=200)[:1] + [policy_config]
         outcome = SweepRunner(jobs=1).run_vectorized(grid)
         assert len(outcome) == len(grid)
         assert outcome.kernel_points == 0
         assert outcome.fallback_points == 1
         assert outcome.fallback_reasons == {
-            "space-shared admission (job classes)": 1,
+            "no kernel transition table for policy (self-scheduling)": 1,
         }
         # the fallback ran on a capable scalar backend and the outcome-level
         # label reports the mix honestly
-        assert outcome[1].mode == "open-system"
+        assert outcome[1].mode == "event-driven"
         assert outcome.mode == "mixed"
         summary = outcome.summary()
         assert "1 scalar fallbacks" in summary
-        assert "space-shared admission (job classes): 1" in summary
+        assert "no kernel transition table for policy (self-scheduling): 1" in summary
+
+    def test_every_registered_grid_family_is_fallback_free(self):
+        # the zero-fallback guarantee, asserted grid family by grid family —
+        # silent re-degradation to scalar simulation fails here (and in CI)
+        from repro.engine.grids import GRID_NAMES
+
+        for name in GRID_NAMES:
+            grid = build_grid(name, num_jobs=8, num_batches=2)
+            outcome = SweepRunner(jobs=1).run_vectorized(grid[:6])
+            assert outcome.fallback_points == 0, name
+            assert outcome.fallback_reasons == {}, name
+            assert "scalar fallbacks (" not in outcome.summary(), name
 
     def test_kernel_points_replay_from_the_cache(self, tmp_path, paper_owner):
         """Kernel-batched points are bitwise runs, so a configured cache
@@ -376,10 +418,8 @@ class TestVectorizedHeterogeneous:
         grid = [fractional, space_shared]
         runner = SweepRunner(jobs=1, cache=tmp_path / "cache")
         first = runner.run_vectorized(grid)
-        assert first.kernel_points == 1 and first.fallback_points == 1
-        assert first.fallback_reasons == {
-            "space-shared admission (job classes)": 1,
-        }
+        assert first.kernel_points == 2 and first.fallback_points == 0
+        assert first.fallback_reasons == {}
         second = runner.run_vectorized(grid)
         assert second.cache_hits == 2 and second.simulated == 0
         assert second.kernel_points == 0

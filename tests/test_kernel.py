@@ -78,12 +78,73 @@ def _trace_config(policy: str, *, seed: int = 17):
     )
 
 
+#: Job-class mixes exercising each source shape of the space-shared loop.
+_OPEN_CLASSES = (
+    JobClassSpec.open("narrow", width=2, weight=0.75),
+    JobClassSpec.open("wide", width=8, weight=0.25, priority=1),
+)
+_CLOSED_CLASSES = (
+    JobClassSpec.closed("users", 3, population=3, think_time=200.0),
+    JobClassSpec.closed("heavy", 8, population=1, think_time=500.0, priority=2),
+)
+_MIXED_CLASSES = (
+    JobClassSpec.open("narrow", width=2, weight=1.0),
+    JobClassSpec.closed("users", 4, population=2, think_time=150.0, priority=1),
+)
+
+
+def _space_shared_config(
+    policy: str = "static",
+    *,
+    admission: str = "fcfs",
+    admission_kwargs: tuple = (),
+    classes: tuple = _OPEN_CLASSES,
+    seed: int = 7,
+    num_jobs: int = 50,
+    imbalance: float = 0.0,
+):
+    if all(job_class.is_closed for job_class in classes):
+        arrivals = JobArrivalSpec.closed_loop(
+            classes, admission_policy=admission, admission_kwargs=admission_kwargs
+        )
+    else:
+        arrivals = JobArrivalSpec.poisson(
+            rate=0.004,
+            job_classes=classes,
+            admission_policy=admission,
+            admission_kwargs=admission_kwargs,
+        )
+    scenario = ScenarioSpec.homogeneous(
+        8,
+        OwnerSpec(demand=10.0, utilization=0.1),
+        policy=policy,
+        arrivals=arrivals,
+        imbalance=imbalance,
+    )
+    return SimulationConfig.from_scenario(
+        scenario, task_demand=50.0, num_jobs=num_jobs, num_batches=4, seed=seed
+    )
+
+
 def _assert_bitwise(oracle, kernel):
     if hasattr(oracle, "arrival_times"):
         np.testing.assert_array_equal(oracle.arrival_times, kernel.arrival_times)
         np.testing.assert_array_equal(oracle.start_times, kernel.start_times)
         np.testing.assert_array_equal(oracle.end_times, kernel.end_times)
         np.testing.assert_array_equal(oracle.demands, kernel.demands)
+        # Per-job class bookkeeping, restart counters and the derived class /
+        # tail metrics must pin too (the job_* properties fold the classless
+        # defaults, so one comparison covers both stream shapes).
+        np.testing.assert_array_equal(oracle.job_widths, kernel.job_widths)
+        np.testing.assert_array_equal(oracle.job_class_ids, kernel.job_class_ids)
+        np.testing.assert_array_equal(oracle.job_restarts, kernel.job_restarts)
+        assert (
+            oracle.total_admission_preemptions
+            == kernel.total_admission_preemptions
+        )
+        assert oracle.p99_response_time == kernel.p99_response_time
+        assert oracle.max_response_time == kernel.max_response_time
+        assert oracle.class_metrics() == kernel.class_metrics()
     else:
         np.testing.assert_array_equal(oracle.job_times, kernel.job_times)
         np.testing.assert_array_equal(oracle.task_times, kernel.task_times)
@@ -186,21 +247,26 @@ class TestKernelBlocker:
         for policy in POLICY_NAMES:
             assert kernel_blocker(_closed_config(policy)) is None
             assert kernel_blocker(_open_config(policy)) is None
+            assert kernel_blocker(_space_shared_config(policy)) is None
 
-    def test_space_shared_admission_is_blocked(self):
-        scenario = ScenarioSpec.homogeneous(
-            4,
-            OwnerSpec(demand=10.0, utilization=0.2),
-            arrivals=JobArrivalSpec.poisson(
-                rate=0.002, job_classes=(JobClassSpec("narrow", width=1),)
-            ),
-        )
-        config = SimulationConfig.from_scenario(
-            scenario, task_demand=20.0, num_jobs=10, num_batches=2, seed=1
-        )
-        assert kernel_blocker(config) == "space-shared admission (job classes)"
-        with pytest.raises(ValueError, match="space-shared"):
-            get_backend("event-kernel")(config).run()
+    def test_space_shared_admission_is_covered(self):
+        # formerly the kernel's one capability gap; every admission policy now
+        # has transition tables, so no config with a registered scheduling
+        # policy is ever routed to scalar fallback
+        for admission in ("fcfs", "easy-backfill", "priority"):
+            config = _space_shared_config(admission=admission, num_jobs=10)
+            assert kernel_blocker(config) is None
+        result = get_backend("event-kernel")(
+            _space_shared_config(num_jobs=10)
+        ).run()
+        assert result.mode == "event-kernel"
+        assert result.widths is not None and result.restarts is not None
+
+    def test_run_space_shared_rejects_classless_configs(self):
+        from repro.kernel import EventKernel
+
+        with pytest.raises(ValueError, match="job classes"):
+            EventKernel().run_space_shared(_open_config("static"))
 
     def test_registered_with_full_capabilities(self):
         assert "event-kernel" in backend_names()
@@ -245,6 +311,89 @@ class TestBitwisePinning:
 
 
 # ---------------------------------------------------------------------------
+# bitwise pinning: space-shared admission (job classes)
+# ---------------------------------------------------------------------------
+
+
+class TestSpaceSharedPinning:
+    """The admission transition tables against ``_run_space_shared``.
+
+    Every admission policy (FCFS head-of-line, EASY backfilling with padded
+    reservations, priority with and without preemptive kill-and-requeue) x
+    every scheduling policy x every source shape (open Poisson mix, closed
+    think-time populations, mixed) pins bitwise — per-job arrays, class
+    metrics, tail percentiles and restart counts alike.
+    """
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @pytest.mark.parametrize(
+        "admission, admission_kwargs",
+        [
+            ("fcfs", ()),
+            ("easy-backfill", ()),
+            ("easy-backfill", (("runtime_factor", 2.5),)),
+            ("priority", ()),
+            ("priority", (("preemptive", 1.0),)),
+        ],
+    )
+    def test_open_mix(self, policy, admission, admission_kwargs):
+        config = _space_shared_config(
+            policy, admission=admission, admission_kwargs=admission_kwargs
+        )
+        _assert_bitwise(
+            run_simulation(config, "open-system"),
+            run_simulation(config, "event-kernel"),
+        )
+
+    @pytest.mark.parametrize("classes", [_CLOSED_CLASSES, _MIXED_CLASSES])
+    @pytest.mark.parametrize(
+        "admission, admission_kwargs",
+        [
+            ("fcfs", ()),
+            ("easy-backfill", ()),
+            ("priority", (("preemptive", 1.0),)),
+        ],
+    )
+    def test_closed_and_mixed_sources(self, classes, admission, admission_kwargs):
+        config = _space_shared_config(
+            "self-scheduling",
+            admission=admission,
+            admission_kwargs=admission_kwargs,
+            classes=classes,
+        )
+        _assert_bitwise(
+            run_simulation(config, "open-system"),
+            run_simulation(config, "event-kernel"),
+        )
+
+    def test_imbalanced_restart_resplit(self):
+        # restarts re-split demands with fresh placement randomness; pinning
+        # under imbalance > 0 proves the kernel re-draws in oracle order
+        config = _space_shared_config(
+            "static",
+            admission="priority",
+            admission_kwargs=(("preemptive", 1.0),),
+            classes=_MIXED_CLASSES,
+            imbalance=0.3,
+        )
+        oracle = run_simulation(config, "open-system")
+        kernel = run_simulation(config, "event-kernel")
+        assert oracle.total_admission_preemptions > 0  # restarts do occur
+        _assert_bitwise(oracle, kernel)
+
+    def test_preemptions_counted_on_the_kernel_path(self):
+        config = _space_shared_config(
+            "static",
+            admission="priority",
+            admission_kwargs=(("preemptive", 1.0),),
+            classes=_MIXED_CLASSES,
+        )
+        result = run_simulation(config, "event-kernel")
+        assert result.total_admission_preemptions > 0
+        assert result.metrics()["admission_preemptions"] > 0
+
+
+# ---------------------------------------------------------------------------
 # cross-point batching
 # ---------------------------------------------------------------------------
 
@@ -256,6 +405,7 @@ class TestRunBatch:
             _closed_config("self-scheduling", seed=2),
             _open_config("migrate-on-owner-arrival", seed=3),
             _trace_config("static", seed=4),
+            _space_shared_config("static", seed=5, num_jobs=20),
         ]
         backend = get_backend("event-kernel")
         batched = backend.run_batch(configs)
@@ -263,6 +413,51 @@ class TestRunBatch:
             (alone,) = backend.run_batch([config])
             _assert_bitwise(alone, together)
             _assert_bitwise(backend(config).run(), together)
+
+    def test_space_shared_state_isolated_across_batch_points(self):
+        """Back-to-back space-shared points share one agenda, zero state.
+
+        The shared kernel's :meth:`EventAgenda.reset` must scrub the heap and
+        the tie counter between grid points, and the admission bookkeeping
+        (queue, free-station pool, running map) is rebuilt per run — so a
+        preemption-heavy point cannot leak queued jobs or allocation masks
+        into its successors, whatever the execution order.
+        """
+        from repro.kernel import EventKernel
+
+        configs = [
+            # preemption-heavy first: leaves maximal admission state behind
+            _space_shared_config(
+                "static",
+                admission="priority",
+                admission_kwargs=(("preemptive", 1.0),),
+                classes=_MIXED_CLASSES,
+                seed=5,
+                num_jobs=30,
+            ),
+            _space_shared_config("static", admission="easy-backfill", seed=6),
+            _space_shared_config(
+                "self-scheduling", classes=_CLOSED_CLASSES, seed=7
+            ),
+        ]
+        backend = get_backend("event-kernel")
+        forward = backend.run_batch(configs)
+        backward = backend.run_batch(configs[::-1])[::-1]
+        for config, first, second in zip(configs, forward, backward):
+            _assert_bitwise(first, second)
+            _assert_bitwise(run_simulation(config, "open-system"), first)
+
+        # the shared agenda itself drains completely and reset() rearms it
+        kernel = EventKernel()
+        kernel.run_space_shared(configs[0])
+        snap = kernel._agenda.snapshot()
+        assert snap["when"].shape[0] == len(kernel._agenda)
+        kernel._agenda.reset()
+        assert not kernel._agenda and kernel._agenda.tie == 0
+        np.testing.assert_array_equal(
+            kernel.run_space_shared(configs[1])[2],
+            run_simulation(configs[1], "open-system").end_times,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -285,9 +480,21 @@ class TestCacheCrossExecutor:
             closed, "monte-carlo"
         )
 
+    def test_space_shared_fingerprints_alias_to_the_oracle_mode(self):
+        # kernel-executed space-shared points must hit the same cache entries
+        # as the open-system oracle (schema-6 canonical-mode aliasing)
+        config = _space_shared_config("static", num_jobs=10)
+        assert config_fingerprint(config, "event-kernel") == config_fingerprint(
+            config, "open-system"
+        )
+
     @pytest.mark.parametrize(
         "build, oracle_mode",
-        [(_closed_config, "event-driven"), (_open_config, "open-system")],
+        [
+            (_closed_config, "event-driven"),
+            (_open_config, "open-system"),
+            (_space_shared_config, "open-system"),
+        ],
     )
     def test_kernel_entries_replay_under_the_oracle_and_back(
         self, tmp_path, build, oracle_mode
